@@ -1,0 +1,42 @@
+"""Ablation — VL buffer depth (credits) and where congestion waits.
+
+DESIGN.md's key modelling decision: shallow per-VL buffers reproduce the
+paper's signature ("queuing time increases significantly while network
+latency increases marginally") because credit-based flow control pushes
+congestion back to the source HCA.  Deep buffers absorb the same load
+*inside* the fabric instead, inflating network latency — the opposite
+signature.  This ablation sweeps the depth under a 4-attacker flood and
+prints both components.
+"""
+
+from repro.experiments.fig1_dos import fig1_config
+from repro.sim.runner import run_simulation
+
+from benchmarks.conftest import emit
+
+DEPTHS = (2, 4, 8, 16)
+
+
+def test_ablation_buffer_depth(benchmark):
+    def sweep():
+        rows = []
+        for depth in DEPTHS:
+            cfg = fig1_config("best_effort", attackers=4, sim_time_us=1200.0)
+            cfg = cfg.replace(vl_buffer_packets=depth)
+            r = run_simulation(cfg)
+            s = r.cls("best_effort")
+            rows.append((depth, s.queuing_us, s.network_us))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("")
+    emit("Ablation — VL buffer depth under 4-attacker flood (best-effort)")
+    emit(f"{'credits/VL':>11} {'queuing us':>11} {'network us':>11} {'queue share':>12}")
+    for depth, q, n in rows:
+        emit(f"{depth:>11} {q:>11.2f} {n:>11.2f} {q / (q + n):>12.1%}")
+
+    # deeper buffers shift waiting from the source queue into the fabric
+    shallow_q, shallow_n = rows[0][1], rows[0][2]
+    deep_q, deep_n = rows[-1][1], rows[-1][2]
+    assert deep_n > shallow_n  # more in-network waiting with deep buffers
+    assert shallow_q / (shallow_q + shallow_n) > deep_q / (deep_q + deep_n)

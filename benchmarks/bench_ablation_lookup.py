@@ -1,0 +1,55 @@
+"""Ablation — the P_Key-lookup-cost knob behind Figure 5's DPT/IF gap.
+
+The paper's switch cycle time is unpublished; EXPERIMENTS.md calibrates
+``pkey_lookup_ns`` from the quoted IF-vs-SIF 0.54 µs difference.  This
+ablation sweeps the knob and shows the two properties that hold at *any*
+positive value (so Figure 5's orderings don't depend on the calibration):
+
+* DPT latency grows ~hops× faster than IF latency in the lookup cost;
+* SIF pays nothing while idle, independent of the knob.
+"""
+
+import pytest
+
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.runner import run_simulation
+
+from benchmarks.conftest import emit
+
+SWEEP_NS = (5.0, 100.0, 250.0, 500.0, 1000.0)
+
+
+def _run(mode, lookup_ns):
+    cfg = SimConfig(
+        sim_time_us=600.0, seed=42, num_attackers=0,
+        best_effort_load=0.3, enforcement=mode, pkey_lookup_ns=lookup_ns,
+        keep_samples=False,
+    )
+    return run_simulation(cfg)
+
+
+def test_ablation_lookup_cost(benchmark):
+    def sweep():
+        rows = []
+        for ns in SWEEP_NS:
+            none = _run(EnforcementMode.NONE, ns).cls("best_effort").network_us
+            dpt = _run(EnforcementMode.DPT, ns).cls("best_effort").network_us
+            if_ = _run(EnforcementMode.IF, ns).cls("best_effort").network_us
+            sif = _run(EnforcementMode.SIF, ns).cls("best_effort").network_us
+            rows.append((ns, none, dpt, if_, sif))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("")
+    emit("Ablation — pkey_lookup_ns vs best-effort network latency (us, no attack)")
+    emit(f"{'lookup ns':>10} {'none':>8} {'dpt':>8} {'if':>8} {'sif':>8} {'dpt-if gap':>11}")
+    for ns, none, dpt, if_, sif in rows:
+        emit(f"{ns:>10.0f} {none:>8.2f} {dpt:>8.2f} {if_:>8.2f} {sif:>8.2f} {dpt - if_:>11.3f}")
+
+    # invariants across the whole sweep
+    for ns, none, dpt, if_, sif in rows:
+        assert dpt > if_  # per-hop beats per-ingress at any positive cost
+        assert abs(sif - none) < 0.3  # idle SIF is free
+    # the DPT-IF gap grows with the knob
+    gaps = [dpt - if_ for _, _, dpt, if_, _ in rows]
+    assert gaps[-1] > gaps[0] * 3

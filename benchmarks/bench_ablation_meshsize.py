@@ -1,0 +1,60 @@
+"""Ablation — fabric scale vs DoS blast radius.
+
+The paper evaluates one 16-node mesh; a natural question for anyone
+adopting SIF is how the single-flooder damage and the SIF containment
+scale with fabric size.  Sweeps square meshes and prints, per size:
+best-effort queuing under one attacker with no filtering vs with SIF,
+and the fraction of flood packets SIF kills at the ingress.
+"""
+
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.runner import run_simulation
+
+from benchmarks.conftest import emit
+
+SIZES = (2, 3, 4)
+
+
+def _cfg(size, mode):
+    return SimConfig(
+        mesh_width=size, mesh_height=size,
+        num_partitions=min(4, size * size // 2),
+        sim_time_us=1200.0, seed=6,
+        best_effort_load=0.45, enable_realtime=False,
+        num_attackers=1, attacker_classes=("best_effort",),
+        attacker_backlog=64,
+        enforcement=mode,
+        keep_samples=False,
+    )
+
+
+def test_ablation_mesh_size(benchmark):
+    def sweep():
+        rows = []
+        for size in SIZES:
+            none = run_simulation(_cfg(size, EnforcementMode.NONE))
+            sif = run_simulation(_cfg(size, EnforcementMode.SIF))
+            flood_total = sif.switch_filtered + sif.drops.get("pkey", 0)
+            contained = sif.switch_filtered / flood_total if flood_total else 0.0
+            rows.append(
+                (
+                    size * size,
+                    none.cls("best_effort").queuing_us,
+                    sif.cls("best_effort").queuing_us,
+                    contained,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("")
+    emit("Ablation — mesh size vs one-flooder damage and SIF containment")
+    emit(f"{'nodes':>6} {'queuing none':>13} {'queuing SIF':>12} {'flood killed at ingress':>24}")
+    for nodes, q_none, q_sif, contained in rows:
+        emit(f"{nodes:>6} {q_none:>13.2f} {q_sif:>12.2f} {contained:>24.1%}")
+
+    for nodes, q_none, q_sif, contained in rows:
+        # SIF must contain the overwhelming majority of the flood at every scale
+        assert contained > 0.8
+        # and never leave legit traffic worse off than no filtering
+        assert q_sif <= q_none * 1.2 + 1.0

@@ -1,0 +1,49 @@
+"""Figure 1 — average queuing time & network latency under DoS attacks.
+
+Regenerates both panels' series (queuing and latency vs 0..4 attackers) and
+benchmarks the single-attacker realtime run as the representative kernel.
+
+Paper shape: queuing 5 µs → ~100 µs (realtime) / ~350 µs (best-effort),
+network latency nearly flat, best-effort worse than realtime.
+"""
+
+import pytest
+
+from repro.experiments.fig1_dos import fig1_config, format_fig1, run_fig1
+from repro.sim.runner import run_simulation
+
+from benchmarks.conftest import emit
+
+SIM_US = 1500.0
+
+
+@pytest.mark.parametrize("panel", ["realtime", "best_effort"])
+def test_fig1_panel(panel, benchmark):
+    points = run_fig1(panel, attacker_counts=(0, 1, 2, 3, 4), sim_time_us=SIM_US)
+    emit("")
+    emit(format_fig1(panel, points))
+
+    # paper-shape assertions on the full series
+    assert points[-1].queuing_us > 5 * max(points[0].queuing_us, 1.0)
+    growth_lat = points[-1].network_us - points[0].network_us
+    growth_q = points[-1].queuing_us - points[0].queuing_us
+    assert growth_lat < growth_q
+
+    # benchmark: one representative bar (1 attacker, shorter horizon)
+    cfg = fig1_config(panel, attackers=1, sim_time_us=300.0)
+    benchmark.pedantic(lambda: run_simulation(cfg), rounds=2, iterations=1)
+
+
+def test_fig1_best_effort_worse_than_realtime(benchmark):
+    rt = run_fig1("realtime", attacker_counts=(4,), sim_time_us=SIM_US)[0]
+    be = benchmark.pedantic(
+        lambda: run_fig1("best_effort", attacker_counts=(4,), sim_time_us=SIM_US)[0],
+        rounds=1,
+        iterations=1,
+    )
+    emit("")
+    emit(
+        f"Fig 1 cross-panel: 4 attackers -> realtime queuing {rt.queuing_us:.1f} us, "
+        f"best-effort queuing {be.queuing_us:.1f} us (paper: ~100 vs ~350)"
+    )
+    assert be.queuing_us > rt.queuing_us

@@ -1,0 +1,54 @@
+"""Figure 6 — message authentication overhead with key initialization.
+
+Prints the No-Key vs With-Key (UMAC + QP-level keys) grouped rows at
+40-70% input load and asserts the paper's claims: overhead is marginal,
+standard deviation grows with load, and partition-level key management has
+zero steady-state exchange cost.
+"""
+
+from repro.experiments.fig6_auth import fig6_config, format_fig6, run_fig6
+from repro.sim.runner import run_simulation
+
+from benchmarks.conftest import emit
+
+SIM_US = 2500.0
+
+
+def test_fig6_rows(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fig6(sim_time_us=SIM_US), rounds=1, iterations=1
+    )
+    emit("")
+    emit(format_fig6(points))
+
+    by = {(p.input_load, p.with_key): p for p in points}
+    for load in (0.4, 0.5, 0.6, 0.7):
+        no, yes = by[(load, False)], by[(load, True)]
+        no_total = no.queuing_us + no.network_us
+        yes_total = yes.queuing_us + yes.network_us
+        # "authentication functions decrease performance insignificantly"
+        assert yes_total < no_total * 1.2 + 1.0
+        assert yes.key_exchanges > 0
+    # variance grows with load (paper: sd ~4-8 at 40-50%, larger at 60-70%)
+    assert by[(0.7, True)].queuing_std_us > by[(0.4, True)].queuing_std_us
+
+
+def test_fig6_partition_level_zero_exchange(benchmark):
+    pts = benchmark.pedantic(
+        lambda: run_fig6(input_loads=(0.4,), sim_time_us=800.0, keymgmt="partition"),
+        rounds=1,
+        iterations=1,
+    )
+    keyed = [p for p in pts if p.with_key][0]
+    emit("")
+    emit(
+        "Fig 6 (partition-level): key exchanges in steady state = "
+        f"{keyed.key_exchanges} (paper: 'Key distribution overhead is virtually zero')"
+    )
+    assert keyed.key_exchanges == 0
+
+
+def test_fig6_single_point_kernel(benchmark):
+    cfg = fig6_config(True, 0.5, sim_time_us=600.0)
+    report = benchmark.pedantic(lambda: run_simulation(cfg), rounds=2, iterations=1)
+    assert report.drops.get("auth", 0) == 0

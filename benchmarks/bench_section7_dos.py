@@ -1,0 +1,109 @@
+"""Section 7's residual DoS attacks — "the following attacks are still
+possible in IBA":
+
+* **valid-P_Key flood** — "Since this attack uses a valid P_Key, any
+  ingress filtering is useless": SIF filters nothing; packets die at the
+  Q_Key check after crossing the fabric.
+* **SM trap flood** — "the attacker can dump management packets to slow
+  down the SM": the SM's finite trap queue overflows and drops legitimate
+  notifications.
+* **replay** — defeated by the nonce extension; quantified here with the
+  replay-protection flag on and off.
+"""
+
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.runner import run_simulation
+
+from benchmarks.conftest import emit
+
+
+def test_valid_pkey_flood_defeats_ingress_filtering(benchmark):
+    def run(valid):
+        cfg = SimConfig(
+            sim_time_us=800.0, seed=7, num_attackers=1,
+            enforcement=EnforcementMode.SIF, attack_valid_pkey=valid,
+            best_effort_load=0.3, keep_samples=False,
+        )
+        return run_simulation(cfg)
+
+    invalid_r = run(False)
+    valid_r = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    emit("")
+    emit("Section 7 — valid-P_Key flood vs SIF")
+    emit(f"  random P_Keys: {invalid_r.switch_filtered} filtered at ingress, "
+         f"{invalid_r.drops.get('pkey', 0)} leaked to HCAs")
+    emit(f"  valid P_Key:   {valid_r.switch_filtered} filtered at ingress, "
+         f"{valid_r.drops.get('qkey', 0)} crossed the fabric to die at Q_Key checks")
+    assert invalid_r.switch_filtered > 0
+    assert valid_r.switch_filtered == 0  # "any ingress filtering is useless"
+    assert valid_r.drops.get("qkey", 0) > 0
+    assert valid_r.sif_activations == 0
+
+
+def test_sm_trap_flood(benchmark):
+    from repro.core.attacks import SMTrapFlooder
+    from repro.iba.subnet_manager import SubnetManager
+    from repro.iba.types import LID
+    from repro.sim.engine import Engine
+    from repro.sim.rng import RngStreams
+
+    def run():
+        engine = Engine()
+        sm = SubnetManager(engine, trap_latency_us=1.0, processing_us=10.0, queue_limit=16)
+        flooder = SMTrapFlooder(engine, sm, LID(4), rate_per_us=0.5,
+                                duration_us=1000.0, rng=RngStreams(0).get("f"))
+        flooder.start()
+        engine.run()
+        return sm, flooder
+
+    sm, flooder = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("")
+    emit("Section 7 — SM trap flood")
+    emit(f"  {flooder.sent} bogus traps sent; SM processed {sm.traps_processed}, "
+         f"dropped {sm.traps_dropped} (queue limit {sm.queue_limit})")
+    assert sm.traps_dropped > 0
+
+
+def test_replay_attack_and_nonce_defence(benchmark):
+    import copy
+
+    from repro.core.attacks import inject_raw
+    from repro.sim.config import AuthMode, KeyMgmtMode
+    from repro.sim.engine import PS_PER_US
+    from repro.sim.runner import build_experiment
+    from repro.sim.traffic import make_ud_packet
+    from repro.iba.types import TrafficClass
+
+    def run(protected):
+        cfg = SimConfig(
+            sim_time_us=400.0, seed=5,
+            enable_realtime=False, enable_best_effort=False,
+            auth=AuthMode.UMAC, keymgmt=KeyMgmtMode.PARTITION,
+            replay_protection=protected,
+        )
+        engine, fabric, _, _, _, _ = build_experiment(cfg)
+        members = sorted(fabric.sm.partitions[1])
+        a, b = members[0], members[1]
+        hca_a, hca_b = fabric.hca(a), fabric.hca(b)
+        qp_a = next(iter(hca_a.qps.values()))
+        qp_b = next(iter(hca_b.qps.values()))
+        pkt = make_ud_packet(hca_a, qp_a, hca_b.lid, qp_b.qpn, qp_b.qkey,
+                             qp_a.pkey, TrafficClass.BEST_EFFORT, cfg.mtu_bytes)
+        hca_a.submit(pkt)
+        engine.run(until=round(100 * PS_PER_US))
+        for _ in range(3):  # captured packet replayed three times
+            inject_raw(hca_a, copy.copy(pkt))
+        engine.run(until=round(300 * PS_PER_US))
+        return hca_b
+
+    unprotected = run(False)
+    protected = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    emit("")
+    emit("Section 7 — replay attack")
+    emit(f"  without nonce check: victim accepted {unprotected.delivered} copies "
+         "(valid tag every time)")
+    emit(f"  with nonce check:    victim accepted {protected.delivered}, "
+         f"rejected {protected.replay_drops} replays")
+    assert unprotected.delivered == 4
+    assert protected.delivered == 1
+    assert protected.replay_drops == 3

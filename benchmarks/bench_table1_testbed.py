@@ -1,0 +1,35 @@
+"""Table 1 — IBA simulation testbed parameters.
+
+Prints the testbed table and benchmarks fabric construction (the cost of
+standing up the 16-node mesh of 5-port switches)."""
+
+from repro.iba.topology import build_mesh
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricsCollector
+
+from benchmarks.conftest import emit
+
+
+def test_table1_parameters(benchmark):
+    cfg = SimConfig()
+    # the four Table 1 rows, exactly
+    assert cfg.link_bandwidth_gbps == 2.5
+    assert cfg.ports_per_switch == 5
+    assert cfg.num_vls == 16
+    assert cfg.mtu_bytes == 1024
+
+    def build():
+        return build_mesh(Engine(), SimConfig(), MetricsCollector())
+
+    fabric = benchmark(build)
+    assert len(fabric.switches) == 16 and len(fabric.hcas) == 16
+
+    emit("")
+    emit("Table 1 — IBA simulation testbed parameters")
+    emit(f"{'Physical Link Bandwidth':<34} {cfg.link_bandwidth_gbps} Gbps")
+    emit(f"{'Number of Physical Links':<34} {cfg.ports_per_switch}")
+    emit(f"{'Number of VLs/Physical Link':<34} {cfg.num_vls}")
+    emit(f"{'Realtime, Best-effort MTU':<34} {cfg.mtu_bytes} Bytes")
+    emit(f"(16-node {cfg.mesh_width}x{cfg.mesh_height} mesh, byte time "
+         f"{cfg.byte_time_ps} ps)")

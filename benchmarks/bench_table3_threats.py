@@ -1,0 +1,17 @@
+"""Table 3 — IBA key vulnerability matrix, executed.
+
+Runs every captured-key attack against stock IBA, the partition-level-keyed
+fabric, and the QP-level-keyed fabric; prints the verdict table."""
+
+from repro.core.threats import format_matrix, run_threat_matrix
+
+from benchmarks.conftest import emit
+
+
+def test_table3_threat_matrix(benchmark):
+    matrix = benchmark.pedantic(run_threat_matrix, rounds=1, iterations=1)
+    emit("")
+    emit(format_matrix(matrix))
+    assert all(o.succeeded_stock for o in matrix)
+    assert not any(o.succeeded_partition_auth for o in matrix)
+    assert not any(o.succeeded_qp_auth for o in matrix)

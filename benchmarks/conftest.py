@@ -1,0 +1,35 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures.  ``emit``
+collects the reproduced rows; a terminal-summary hook prints them after
+pytest's capture ends, so `pytest benchmarks/ --benchmark-only` always
+shows the paper artifacts inline (fd-level capture would otherwise swallow
+mid-test prints).
+"""
+
+import pytest
+
+_EMITTED: list[str] = []
+
+
+def emit(text: str) -> None:
+    """Queue a line of reproduced-artifact output (also printed live when
+    capture is off, e.g. with -s)."""
+    _EMITTED.append(text)
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    return emit
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _EMITTED:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("reproduced paper artifacts (tables & figure series)")
+    terminalreporter.write_line("=" * 72)
+    for line in _EMITTED:
+        terminalreporter.write_line(line)

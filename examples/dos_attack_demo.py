@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""DoS attack & stateful ingress filtering, step by step (Sections 3.1-3.3).
+
+Walks the full SIF story on a live fabric:
+
+1. A compromised node floods MTU frames with random invalid P_Keys at the
+   full 2.5 Gbps line rate ("Figure 1" conditions).
+2. Victim HCAs' P_Key checks fail; their P_Key Violation Counters rise and
+   they emit trap MADs to the Subnet Manager.
+3. The SM locates the attacker's ingress switch, registers the invalid
+   P_Keys in its Invalid_P_Key_Table, and flips the port's filter on.
+4. The random-key spray quickly outgrows the node's partition table, so the
+   filter switches from blacklist to whitelist mode and kills everything.
+5. When the flood stops, the Ingress P_Key Violation Counter goes quiet and
+   the filter disarms itself — SIF's "practically no overhead" steady state.
+
+Run:  python examples/dos_attack_demo.py
+"""
+
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.engine import PS_PER_US
+from repro.sim.runner import build_experiment
+
+
+def main() -> None:
+    cfg = SimConfig(
+        sim_time_us=1200.0,
+        seed=21,
+        num_attackers=1,
+        attack_duty_cycle=0.5,        # attack for the first ~half, then stop
+        attack_window_us=600.0,
+        enforcement=EnforcementMode.SIF,
+        sif_idle_timeout_us=150.0,
+        best_effort_load=0.3,
+    )
+    engine, fabric, sources, flooders, windows, _ = build_experiment(cfg)
+    attacker = flooders[0].hca
+    ingress = fabric.ingress_switch(attacker.lid)
+    filt = ingress.filters[0]
+    sm = fabric.sm
+
+    print(f"attacker: node LID {int(attacker.lid)} behind {ingress.name}")
+    print(f"attack windows: {[(s // PS_PER_US, e // PS_PER_US) for s, e in windows]} us")
+    print()
+    print(f"{'t (us)':>8} {'SIF on':>7} {'mode':>10} {'invalid tbl':>12} "
+          f"{'sw drops':>9} {'HCA viols':>10} {'traps':>6}")
+
+    def snapshot():
+        mode = "-"
+        if filt.enabled:
+            mode = "whitelist" if filt.whitelist_mode else "blacklist"
+        hca_viols = sum(h.pkey_violations for h in fabric.hcas.values())
+        print(f"{engine.now / PS_PER_US:>8.0f} {str(filt.enabled):>7} {mode:>10} "
+              f"{len(filt.invalid_table):>12} {filt.drops:>9} {hca_viols:>10} "
+              f"{sm.traps_processed:>6}")
+        if engine.now < cfg.sim_time_ps:
+            engine.schedule(round(100 * PS_PER_US), snapshot)
+
+    snapshot()
+    engine.run(until=cfg.sim_time_ps)
+    # drain past the idle timeout to watch SIF disarm
+    engine.run(until=cfg.sim_time_ps + round(400 * PS_PER_US))
+    snapshot_final = (
+        f"\nfinal: SIF enabled={filt.enabled} "
+        f"(activations={filt.activations}, deactivations={filt.deactivations}), "
+        f"{filt.drops} flood packets killed at the ingress switch, "
+        f"{sum(h.pkey_violations for h in fabric.hcas.values())} reached a "
+        "destination HCA before SIF converged"
+    )
+    print(snapshot_final)
+
+    assert filt.activations >= 1
+    assert not filt.enabled, "filter should disarm after the flood ends"
+    print("\nSIF lifecycle reproduced: trap -> register -> filter -> age out.")
+
+
+if __name__ == "__main__":
+    main()

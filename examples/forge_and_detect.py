@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Table 3 live: what every captured IBA key buys an attacker, and how the
+authentication tag shuts it down.
+
+Also demonstrates the two security analyses behind Table 4's last column:
+
+* constructive CRC forgery — fix the checksum after tampering, no key;
+* brute tag guessing against UMAC — measure the (non-)success rate and
+  compare with the 2^-30 bound.
+
+Run:  python examples/forge_and_detect.py
+"""
+
+import random
+
+from repro.analysis.forgery import attempts_for_confidence, crc_is_forgeable
+from repro.core.threats import format_matrix, run_threat_matrix
+from repro.crypto.crc32 import crc32
+from repro.crypto.umac import UMAC
+
+
+def demo_crc_forgery() -> None:
+    print("=== CRC is not a MAC (linearity forgery, no key required) ===")
+    original = b"transfer $100 to alice.."
+    tampered = b"transfer $999 to mallory"
+    zeros = bytes(len(original))
+    delta = bytes(a ^ b for a, b in zip(original, tampered))
+    predicted = crc32(original) ^ crc32(delta) ^ crc32(zeros)
+    print(f"  original ICRC: {crc32(original):#010x}")
+    print(f"  forged ICRC (computed from linearity, never seeing a key): "
+          f"{predicted:#010x}")
+    print(f"  actual CRC of tampered message:                           "
+          f"{crc32(tampered):#010x}")
+    assert predicted == crc32(tampered) and crc_is_forgeable()
+    print("  -> forgery probability 1, exactly as Table 4 says.\n")
+
+
+def demo_tag_guessing(tries: int = 200_000) -> None:
+    print("=== guessing a 32-bit UMAC tag ===")
+    mac = UMAC(b"the-partition-secret-key")
+    message, nonce = b"RDMA-WRITE to 0xdeadbeef", 7
+    rng = random.Random(1)
+    hits = sum(1 for _ in range(tries) if mac.verify(message, nonce, rng.randrange(2**32)))
+    print(f"  {tries} random tags tried, {hits} accepted "
+          f"(bound: {tries * 2**-30:.4f} expected)")
+    half = attempts_for_confidence(30, 0.5)
+    print(f"  an online forger needs ~{half:.2e} attempts for a coin-flip "
+          "chance — each one a fabric round trip that bumps a violation "
+          "counter.\n")
+
+
+def main() -> None:
+    demo_crc_forgery()
+    demo_tag_guessing()
+    print("=== Table 3, executed on live fabrics ===")
+    print(format_matrix(run_threat_matrix()))
+    print()
+    print("stock IBA: every plaintext-key capture is a breach.")
+    print("partition-level MAC closes M/B/P/Q_Key abuse from outside the partition.")
+    print("QP-level MAC additionally closes the R_Key/RDMA row — even a valid "
+          "R_Key cannot mint a per-QP tag (Section 4.3).")
+
+
+if __name__ == "__main__":
+    main()

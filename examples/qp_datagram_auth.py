@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""QP-level key management and replay defence (Sections 4.3 and 7).
+
+Shows the finest-granularity scheme on a live fabric:
+
+* first contact between two QPs triggers a Q_Key request / key exchange —
+  a fresh secret, RSA-encrypted to the responder, one RTT of extra delay on
+  the first packet only (Figure 6's 'With Key' cost);
+* the receiver indexes secrets by (Q_Key, source QP), so two source QPs
+  hitting the same destination QP hold different keys (Figure 3);
+* a captured-and-replayed packet carries a *valid* tag — the PSN-based
+  nonce check (Section 7) is what kills it.
+
+Run:  python examples/qp_datagram_auth.py
+"""
+
+import copy
+
+from repro.core.attacks import inject_raw
+from repro.iba.types import TrafficClass
+from repro.sim.config import AuthMode, KeyMgmtMode, SimConfig
+from repro.sim.engine import PS_PER_US
+from repro.sim.runner import build_experiment
+from repro.sim.traffic import make_ud_packet
+
+
+def main() -> None:
+    cfg = SimConfig(
+        sim_time_us=600.0,
+        seed=5,
+        enable_realtime=False,
+        enable_best_effort=False,
+        auth=AuthMode.UMAC,
+        keymgmt=KeyMgmtMode.QP,
+        replay_protection=True,
+    )
+    engine, fabric, _, _, _, keymgr = build_experiment(cfg)
+    sm = fabric.sm
+    members = sorted(sm.partitions[1])
+    a, b = members[0], members[1]
+    hca_a, hca_b = fabric.hca(a), fabric.hca(b)
+    qp_a = next(iter(hca_a.qps.values()))
+    qp_b = next(iter(hca_b.qps.values()))
+
+    def send(n=1):
+        last = None
+        for _ in range(n):
+            last = make_ud_packet(
+                hca_a, qp_a, hca_b.lid, qp_b.qpn, qp_b.qkey, qp_a.pkey,
+                TrafficClass.BEST_EFFORT, cfg.mtu_bytes,
+            )
+            hca_a.submit(last)
+        return last
+
+    print(f"node {a} (QP {int(qp_a.qpn):#x}) -> node {b} (QP {int(qp_b.qpn):#x})")
+    print(f"key exchanges before first packet: {keymgr.exchanges}")
+
+    first = send()
+    engine.run(until=round(100 * PS_PER_US))
+    rtt_paid = (first.t_injected - first.t_created) / PS_PER_US
+    print(f"first packet: key exchange fired (exchanges={keymgr.exchanges}), "
+          f"waited {rtt_paid:.2f} us before injection (the one-RTT cost)")
+
+    second = send()
+    engine.run(until=round(200 * PS_PER_US))
+    wait2 = (second.t_injected - second.t_created) / PS_PER_US
+    print(f"second packet: no new exchange (exchanges={keymgr.exchanges}), "
+          f"waited {wait2:.2f} us")
+    print(f"delivered so far at node {b}: {hca_b.delivered} (both verified)")
+
+    # --- replay attack: capture the second packet, resend it verbatim -----
+    replayed = copy.copy(second)
+    inject_raw(hca_a, replayed)  # valid tag, stale PSN
+    engine.run(until=round(300 * PS_PER_US))
+    print(f"replayed copy: delivered={hca_b.delivered} (unchanged), "
+          f"replay_drops={hca_b.replay_drops} -> nonce check caught it")
+
+    # --- Figure 3's indexing: a second source QP gets its own secret ------
+    from repro.iba.qp import QueuePair
+    from repro.iba.types import QPN, ServiceType
+
+    qp_a2 = QueuePair(qpn=QPN(0x999), service=ServiceType.UNRELIABLE_DATAGRAM,
+                      pkey=qp_a.pkey, qkey=qp_a.qkey)
+    hca_a.add_qp(qp_a2)
+    third = make_ud_packet(hca_a, qp_a2, hca_b.lid, qp_b.qpn, qp_b.qkey,
+                           qp_a.pkey, TrafficClass.BEST_EFFORT, cfg.mtu_bytes)
+    hca_a.submit(third)
+    engine.run(until=round(450 * PS_PER_US))
+    print(f"new source QP {0x999:#x}: fresh exchange (exchanges={keymgr.exchanges}) "
+          "— receiver indexes secrets by (Q_Key, source QP), Figure 3")
+    assert hca_b.delivered == 3
+    assert hca_b.replay_drops == 1
+
+
+if __name__ == "__main__":
+    main()

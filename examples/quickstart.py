@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart — stand up the paper's 16-node InfiniBand testbed, run it,
+and read the two metrics everything revolves around.
+
+What happens here:
+
+1. Build the Table-1 fabric (4x4 mesh, 5-port switches, 2.5 Gbps links,
+   16 VLs, 1024-byte MTU) with four random partitions.
+2. Let realtime + best-effort traffic flow for 1 ms of simulated time.
+3. Print per-class queuing time and network latency — the metrics of
+   Figures 1, 5 and 6.
+4. Re-run the exact same workload with one compromised node flooding
+   random P_Keys, and watch queuing time degrade.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import run_simulation
+
+
+def main() -> None:
+    print("=== baseline fabric, no attacker ===")
+    baseline = run_simulation(SimConfig(sim_time_us=1000.0, seed=3))
+    print(baseline.summary())
+    print(f"delivered {baseline.delivered} packets, "
+          f"{baseline.events_processed} events, "
+          f"{baseline.wall_seconds:.2f}s wall clock")
+
+    print()
+    print("=== same fabric, one random-P_Key flooder ===")
+    attacked = run_simulation(
+        SimConfig(sim_time_us=1000.0, seed=3, num_attackers=1)
+    )
+    print(attacked.summary())
+
+    be0 = baseline.cls("best_effort")
+    be1 = attacked.cls("best_effort")
+    print()
+    print("best-effort queuing time: "
+          f"{be0.queuing_us:.2f} us -> {be1.queuing_us:.2f} us under attack")
+    print("best-effort network latency: "
+          f"{be0.network_us:.2f} us -> {be1.network_us:.2f} us "
+          "(latency moves little; credit-based flow control pushes the pain "
+          "back to the source queues — Section 3.1 of the paper)")
+    print(f"attack packets discarded at destination HCAs: "
+          f"{attacked.drops.get('pkey', 0)} "
+          "(each one crossed the whole fabric first — the DoS problem)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Partition-level authentication end to end (Sections 4.2 and 5).
+
+Reproduces Figure 2's key tables and then demonstrates, on a live fabric,
+what the ICRC-as-MAC mechanism changes:
+
+* the SM mints one secret key per partition and distributes it RSA-encrypted
+  to each member channel adapter;
+* members exchange UMAC-tagged packets (tag in the ICRC field, function
+  selected by the BTH Reserved byte) that verify end to end;
+* an attacker who captured the plaintext P_Key *and* Q_Key — everything
+  stock IBA checks — forges a perfectly CRC-valid packet, which stock IBA
+  delivers and the MAC fabric rejects.
+
+Run:  python examples/secure_partition.py
+"""
+
+from repro.core.attacks import forge_packet, inject_raw
+from repro.sim.config import AuthMode, KeyMgmtMode, SimConfig
+from repro.sim.engine import PS_PER_US
+from repro.sim.runner import build_experiment
+
+
+def build(auth: AuthMode, keymgmt: KeyMgmtMode):
+    cfg = SimConfig(
+        sim_time_us=400.0,
+        seed=31,
+        enable_realtime=False,
+        enable_best_effort=False,
+        auth=auth,
+        keymgmt=keymgmt,
+        rsa_bits=512,
+    )
+    return cfg, *build_experiment(cfg)
+
+
+def run_forgery(auth: AuthMode, keymgmt: KeyMgmtMode) -> tuple[int, int]:
+    cfg, engine, fabric, _, _, _, keymgr = build(auth, keymgmt)
+    sm = fabric.sm
+    part1 = sorted(sm.partitions[1])
+    part2 = sorted(sm.partitions[2])
+    victim, attacker = part1[0], part2[0]
+    victim_hca, attacker_hca = fabric.hca(victim), fabric.hca(attacker)
+    victim_qp = next(iter(victim_hca.qps.values()))
+    attacker_qp = next(iter(attacker_hca.qps.values()))
+
+    # Legitimate member-to-member packet first (from part1[1] to victim).
+    insider = fabric.hca(part1[1])
+    from repro.iba.types import TrafficClass
+    from repro.sim.traffic import make_ud_packet
+
+    legit = make_ud_packet(
+        insider, next(iter(insider.qps.values())), victim_hca.lid,
+        victim_qp.qpn, victim_qp.qkey, victim_qp.pkey,
+        TrafficClass.BEST_EFFORT, cfg.mtu_bytes,
+    )
+    insider.submit(legit)
+
+    # The attacker "captured" the plaintext P_Key and Q_Key off the wire.
+    forged = forge_packet(
+        attacker_hca, attacker_qp, victim_hca.lid, victim_qp.qpn,
+        captured_pkey=victim_qp.pkey, captured_qkey=victim_qp.qkey,
+        mtu_bytes=cfg.mtu_bytes,
+    )
+    inject_raw(attacker_hca, forged)
+    engine.run(until=round(200 * PS_PER_US))
+    return victim_hca.delivered, victim_hca.auth_failures
+
+
+def main() -> None:
+    print("=== Figure 2: partition-level key tables ===")
+    cfg, engine, fabric, _, _, _, keymgr = build(AuthMode.UMAC, KeyMgmtMode.PARTITION)
+    for lid in fabric.lids[:4]:
+        table = keymgr.node_tables.get(lid, {})
+        rows = {f"P_Key idx {k}": v.hex()[:16] + "…" for k, v in table.items()}
+        print(f"  node {lid}: {rows}")
+    print(f"  ({keymgr.distributions} RSA-encrypted key distributions at partition setup)")
+
+    print()
+    print("=== forgery with captured plaintext keys ===")
+    delivered, _ = run_forgery(AuthMode.ICRC, KeyMgmtMode.NONE)
+    print(f"stock IBA:          victim delivered {delivered} packets "
+          f"(legit 1 + forged {delivered - 1}) -> plaintext keys are enough: BREACH")
+
+    delivered, auth_fail = run_forgery(AuthMode.UMAC, KeyMgmtMode.PARTITION)
+    print(f"ICRC-as-MAC fabric: victim delivered {delivered} packet(s), "
+          f"rejected {auth_fail} forged tag(s) -> the AT closes Table 3's P_Key/Q_Key rows")
+
+    print()
+    print("On-demand authentication: the same MacAuthService scoped to one "
+          "partition (on_demand_partitions={1}) leaves other partitions on "
+          "plain ICRC — 'authentication can be enabled ... only to the "
+          "partition or some QPs'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Analytical models from the paper's Sections 5.2 and 6: MAC throughput
+normalization (Table 4), forgery probabilities, and the CACTI-style SRAM
+access-time argument behind "P_Key table lookup is ~1 cycle".
+"""
+
+from repro.analysis.performance import (
+    MacPerformance,
+    TABLE4,
+    table4_rows,
+    gbps_at_clock,
+    normalize_cycles_per_byte,
+)
+from repro.analysis.forgery import (
+    forgery_probability,
+    truncated_forgery_probability,
+    partial_digest_forgery,
+)
+from repro.analysis.sram import sram_access_time_ns, lookup_cycles
+
+__all__ = [
+    "MacPerformance",
+    "TABLE4",
+    "table4_rows",
+    "gbps_at_clock",
+    "normalize_cycles_per_byte",
+    "forgery_probability",
+    "truncated_forgery_probability",
+    "partial_digest_forgery",
+    "sram_access_time_ns",
+    "lookup_cycles",
+]

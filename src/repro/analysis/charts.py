@@ -1,0 +1,91 @@
+"""ASCII rendering of the paper's figures — dependency-free bar/series
+charts for terminals, used by the benchmark harness and examples.
+
+The paper's plots are simple enough (grouped bars, two-series lines) that a
+text rendering preserves all the information the shape claims rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Series:
+    label: str
+    values: list[float]
+
+
+def hbar_chart(
+    rows: list[tuple[str, float]],
+    width: int = 50,
+    unit: str = "us",
+    title: str | None = None,
+) -> str:
+    """Horizontal bars, one per (label, value) row, scaled to the max."""
+    if not rows:
+        return title or ""
+    peak = max(v for _, v in rows) or 1.0
+    label_w = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        filled = round(width * value / peak)
+        lines.append(
+            f"{label:<{label_w}} |{'#' * filled}{' ' * (width - filled)}| "
+            f"{value:.2f} {unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: list[str],
+    series: list[Series],
+    width: int = 40,
+    unit: str = "us",
+    title: str | None = None,
+) -> str:
+    """The Figure 5/6 layout: for each group (load level), one bar per
+    series (enforcement mode / keyed-ness)."""
+    for s in series:
+        if len(s.values) != len(groups):
+            raise ValueError(f"series {s.label!r} has {len(s.values)} values for {len(groups)} groups")
+    peak = max(max(s.values) for s in series) or 1.0
+    label_w = max(len(s.label) for s in series)
+    lines = [title] if title else []
+    for gi, group in enumerate(groups):
+        lines.append(f"[{group}]")
+        for s in series:
+            v = s.values[gi]
+            filled = round(width * v / peak)
+            lines.append(
+                f"  {s.label:<{label_w}} |{'#' * filled}{' ' * (width - filled)}| "
+                f"{v:.2f} {unit}"
+            )
+    return "\n".join(lines)
+
+
+def two_line_series(
+    xs: list[float],
+    a: Series,
+    b: Series,
+    height: int = 10,
+    title: str | None = None,
+) -> str:
+    """The Figure 1 layout: two metrics against one x-axis, rendered as a
+    compact scatter grid ('Q' for the first series, 'N' for the second)."""
+    if len(a.values) != len(xs) or len(b.values) != len(xs):
+        raise ValueError("series lengths must match xs")
+    peak = max(max(a.values), max(b.values)) or 1.0
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for col, (va, vb) in enumerate(zip(a.values, b.values)):
+        ra = min(height - 1, round((height - 1) * va / peak))
+        rb = min(height - 1, round((height - 1) * vb / peak))
+        grid[height - 1 - rb][col] = "N"
+        grid[height - 1 - ra][col] = "Q" if ra != rb else "*"
+    lines = [title] if title else []
+    lines.append(f"peak = {peak:.1f}")
+    for row in grid:
+        lines.append("  " + "  ".join(row))
+    lines.append("  " + "  ".join(f"{x:g}" for x in xs))
+    lines.append(f"  Q = {a.label}, N = {b.label}, * = overlap")
+    return "\n".join(lines)

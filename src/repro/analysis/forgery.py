@@ -1,0 +1,99 @@
+"""Forgery-probability models — Table 4's security column and the Section-7
+strength/performance trade-off.
+
+The paper's reasoning, reproduced as executable functions:
+
+* CRC: keyless and GF(2)-linear → an adversary can always fix the checksum;
+  forgery probability "is virtually one".
+* HMAC-X: no better attack than guessing the tag is known, so a tag of *t*
+  bits is forged with probability ~2^-t; the original 128-/160-bit digests
+  give 2^-120/2^-160 [the paper quotes 2^-120 via [1]], and truncation to
+  the 32-bit ICRC field scales the strength to ~2^-32 ("We assume that the
+  security strength … is proportional to their authentication tag sizes").
+* UMAC-2/4: *provable* 2^-30 per forgery attempt with a 32-bit tag.
+* Section 7's "digest a small part of the message" trade-off: if only a
+  fraction of the message is covered, an adversary who modifies an
+  uncovered byte succeeds with probability 1; modifying covered bytes still
+  faces the tag bound.  Expected forgery probability interpolates.
+"""
+
+from __future__ import annotations
+
+
+def forgery_probability(algorithm: str) -> float:
+    """Table 4's forgery column by algorithm name."""
+    table = {
+        "crc": 1.0,
+        "hmac-sha1": 2.0**-32,
+        "hmac-md5": 2.0**-32,
+        "umac": 2.0**-30,
+        "umac-2/4": 2.0**-30,
+    }
+    key = algorithm.lower()
+    if key not in table:
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+    return table[key]
+
+
+def truncated_forgery_probability(full_tag_bits: int, kept_bits: int) -> float:
+    """Guessing probability after truncating a *full_tag_bits* MAC to
+    *kept_bits* (the proportional-strength assumption of Section 5.2)."""
+    if not 0 < kept_bits <= full_tag_bits:
+        raise ValueError("kept bits must be in (0, full_tag_bits]")
+    return 2.0**-kept_bits
+
+
+def attempts_for_confidence(tag_bits: int, confidence: float = 0.5) -> float:
+    """Expected number of online forgery attempts to succeed with the given
+    confidence against a *tag_bits* tag — why even 2^-30 is plenty when each
+    attempt costs a fabric round trip and bumps a violation counter."""
+    import math
+
+    if not 0 < confidence < 1:
+        raise ValueError("confidence in (0,1)")
+    p = 2.0**-tag_bits
+    return math.log(1 - confidence) / math.log(1 - p)
+
+
+def partial_digest_forgery(
+    covered_fraction: float,
+    tag_bits: int = 32,
+    tamper_target_uniform: bool = True,
+) -> float:
+    """Section 7's speed-for-strength trade: MAC only ``covered_fraction``
+    of the message.
+
+    With a uniformly-placed single-byte tamper, the attack lands in the
+    uncovered region (instant success) with probability
+    ``1 - covered_fraction``, else must beat the tag.  The paper's remark
+    "This will increase forgery probability, but it will be better than
+    CRC" is the returned value sitting strictly between 2^-tag and 1 for
+    any 0 < covered_fraction < 1.
+    """
+    if not 0.0 <= covered_fraction <= 1.0:
+        raise ValueError("covered_fraction in [0,1]")
+    guess = 2.0**-tag_bits
+    if not tamper_target_uniform:
+        # adversary chooses where to tamper: any uncovered byte wins outright
+        return 1.0 if covered_fraction < 1.0 else guess
+    return (1.0 - covered_fraction) * 1.0 + covered_fraction * guess
+
+
+def crc_is_forgeable() -> bool:
+    """Constructive demonstration that CRC-32 offers no authenticity:
+    flip message bits and fix the checksum using linearity, with no key.
+
+    Returns True when the forged (message', crc') verifies — it always
+    does; the unit tests assert this, and it is the premise of the paper.
+    """
+    from repro.crypto.crc32 import crc32
+
+    original = b"transfer $100 to alice.."
+    tampered = b"transfer $999 to mallory"
+    assert len(original) == len(tampered)
+    # Linearity: crc(t) = crc(o) ^ crc(o ^ t ^ 0) ^ crc(0) over equal lengths.
+    zeros = bytes(len(original))
+    delta = bytes(a ^ b for a, b in zip(original, tampered))
+    forged_crc = crc32(tampered)
+    predicted = crc32(original) ^ crc32(delta) ^ crc32(zeros)
+    return predicted == forged_crc

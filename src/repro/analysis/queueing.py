@@ -1,0 +1,94 @@
+"""Analytic queueing cross-checks for the simulator's baselines.
+
+The fabric's no-attack operating points should agree with textbook queueing
+theory — a strong validity check DESIGN.md calls for:
+
+* a source HCA with Poisson arrivals of fixed-size frames onto an idle link
+  is an **M/D/1** queue: mean wait ``W = ρ·S / (2(1-ρ))``;
+* an end-to-end path of store-and-forward hops at low load costs roughly
+  ``links · (serialization + wire) + switches · routing``.
+
+Tests compare these against measured simulator output within tolerance;
+the functions are also useful for sizing experiments (e.g. predicting the
+load where queuing diverges).
+"""
+
+from __future__ import annotations
+
+from repro.iba.packet import LOCAL_UD_OVERHEAD
+from repro.sim.config import SimConfig
+from repro.sim.engine import PS_PER_US
+
+
+def frame_service_time_us(config: SimConfig) -> float:
+    """Serialization time of one MTU frame (headers included)."""
+    wire_bytes = config.mtu_bytes + LOCAL_UD_OVERHEAD
+    return wire_bytes * config.byte_time_ps / PS_PER_US
+
+
+def md1_wait_us(load: float, service_us: float) -> float:
+    """Mean M/D/1 queueing delay (excluding service) at utilization *load*."""
+    if not 0.0 <= load < 1.0:
+        raise ValueError("M/D/1 requires load in [0, 1)")
+    return load * service_us / (2.0 * (1.0 - load))
+
+
+def source_queuing_estimate_us(config: SimConfig) -> float:
+    """Expected HCA send-queue wait at the configured loads (both classes
+    share the one injection link, so utilization is their sum)."""
+    load = 0.0
+    if config.enable_best_effort:
+        load += config.best_effort_load
+    if config.enable_realtime:
+        load += config.realtime_load
+    return md1_wait_us(load, frame_service_time_us(config))
+
+
+def path_latency_estimate_us(config: SimConfig, switch_hops: int) -> float:
+    """Unloaded end-to-end latency across *switch_hops* switches.
+
+    Links traversed = switch_hops + 1 (HCA→first switch … last switch→HCA);
+    each is a full store-and-forward serialization plus wire delay, and each
+    switch adds its routing-pipeline delay.  Receive-side processing is
+    added once.
+    """
+    if switch_hops < 1:
+        raise ValueError("a path crosses at least the ingress switch")
+    links = switch_hops + 1
+    ser = frame_service_time_us(config)
+    wire = config.wire_delay_ns / 1000.0
+    routing = config.switch_routing_delay_ns / 1000.0
+    processing = config.hca_processing_delay_ns / 1000.0
+    return links * (ser + wire) + switch_hops * routing + processing
+
+
+def mean_switch_hops(width: int, height: int) -> float:
+    """Average XY switch-hop count over distinct uniform random pairs
+    (|dx| + |dy| + 1, as in :func:`repro.iba.topology.path_length`)."""
+    n = width * height
+    total = 0
+    pairs = 0
+    for sx in range(width):
+        for sy in range(height):
+            for dx in range(width):
+                for dy in range(height):
+                    if (sx, sy) == (dx, dy):
+                        continue
+                    total += abs(sx - dx) + abs(sy - dy) + 1
+                    pairs += 1
+    return total / pairs
+
+
+def saturation_load(width: int, height: int) -> float:
+    """Per-node injection (fraction of link bandwidth) at which the mesh's
+    bisection saturates under uniform random traffic — the knee the Figure
+    5/6 'input load' scale is calibrated against.
+
+    Crossing traffic per direction ≈ (n/2)·λ·(n/2)/(n-1) spread over
+    min(width, height) bisection links.
+    """
+    n = width * height
+    half = n / 2.0
+    links = min(width, height)
+    crossing_per_lambda = half * (half / (n - 1))
+    return links / crossing_per_lambda

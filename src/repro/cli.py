@@ -1,0 +1,152 @@
+"""Command-line interface: run experiments and regenerate paper artifacts.
+
+Usage (installed as ``repro-sim`` or via ``python -m repro.cli``)::
+
+    repro-sim run --attackers 2 --load 0.5 --enforcement sif
+    repro-sim fig1 --panel best_effort
+    repro-sim fig5
+    repro-sim fig6
+    repro-sim table2
+    repro-sim table3
+    repro-sim table4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_run(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run", help="one simulation with explicit knobs")
+    p.add_argument("--sim-time-us", type=float, default=1000.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--attackers", type=int, default=0)
+    p.add_argument("--load", type=float, default=0.4, help="best-effort injection (fraction of link bw)")
+    p.add_argument("--realtime-load", type=float, default=0.1)
+    p.add_argument(
+        "--enforcement", choices=["none", "dpt", "if", "sif"], default="none"
+    )
+    p.add_argument(
+        "--auth", choices=["icrc", "umac", "hmac_md5", "hmac_sha1", "pmac", "stream"],
+        default="icrc",
+    )
+    p.add_argument("--keymgmt", choices=["none", "partition", "qp"], default="none")
+    p.add_argument("--replay-protection", action="store_true")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Security Enhancement in InfiniBand Architecture — reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_run(sub)
+    fig1 = sub.add_parser("fig1", help="Figure 1: DoS queuing/latency series")
+    fig1.add_argument("--panel", choices=["realtime", "best_effort", "both"], default="both")
+    fig1.add_argument("--sim-time-us", type=float, default=1500.0)
+    fig5 = sub.add_parser("fig5", help="Figure 5: enforcement comparison bars")
+    fig5.add_argument("--sim-time-us", type=float, default=6000.0)
+    fig6 = sub.add_parser("fig6", help="Figure 6: auth overhead rows")
+    fig6.add_argument("--sim-time-us", type=float, default=2500.0)
+    sub.add_parser("table2", help="Table 2: enforcement overhead model")
+    sub.add_parser("table3", help="Table 3: executable threat matrix")
+    table4 = sub.add_parser("table4", help="Table 4: MAC time & forgery complexity")
+    table4.add_argument("--no-measure", action="store_true", help="skip Python timing")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
+    from repro.sim.runner import run_simulation
+
+    keymgmt = KeyMgmtMode(args.keymgmt)
+    auth = AuthMode(args.auth)
+    if auth is not AuthMode.ICRC and keymgmt is KeyMgmtMode.NONE:
+        keymgmt = KeyMgmtMode.PARTITION  # sensible default for keyed MACs
+    cfg = SimConfig(
+        sim_time_us=args.sim_time_us,
+        seed=args.seed,
+        num_attackers=args.attackers,
+        best_effort_load=args.load,
+        realtime_load=args.realtime_load,
+        enforcement=EnforcementMode(args.enforcement),
+        auth=auth,
+        keymgmt=keymgmt,
+        replay_protection=args.replay_protection,
+    )
+    cfg.validate()
+    report = run_simulation(cfg)
+    print(report.summary())
+    print(
+        f"delivered={report.delivered} switch_filtered={report.switch_filtered} "
+        f"traps={report.traps_processed} key_exchanges={report.key_exchanges} "
+        f"events={report.events_processed} wall={report.wall_seconds:.2f}s"
+    )
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments.fig1_dos import format_fig1, run_fig1
+
+    panels = ["realtime", "best_effort"] if args.panel == "both" else [args.panel]
+    for panel in panels:
+        points = run_fig1(panel, sim_time_us=args.sim_time_us)
+        print(format_fig1(panel, points))
+        print()
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.fig5_enforcement import format_fig5, run_fig5
+
+    print(format_fig5(run_fig5(sim_time_us=args.sim_time_us)))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.fig6_auth import format_fig6, run_fig6
+
+    print(format_fig6(run_fig6(sim_time_us=args.sim_time_us)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2_overhead import format_table2, run_table2
+
+    print(format_table2(run_table2()))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.core.threats import format_matrix, run_threat_matrix
+
+    print(format_matrix(run_threat_matrix()))
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.experiments.table4_macs import format_table4, run_table4
+
+    print(format_table4(run_table4(measure=not args.no_measure)))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "fig1": _cmd_fig1,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

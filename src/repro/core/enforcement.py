@@ -1,0 +1,189 @@
+"""Switch-level partition enforcement: DPT, IF, and SIF (paper Section 3.3).
+
+All three designs share the same goal — invalid-P_Key packets must die at
+(or near) the edge instead of crossing the fabric — and differ in *where the
+partition table lives* and *when the lookup runs*:
+
+* :class:`DPTPortFilter` (Duplicate Partition Table): every input port of
+  every switch holds the whole subnet's partition table and checks every
+  packet.  Memory n·p per switch, one f(n·p) lookup per packet per hop.
+* :class:`IngressPortFilter` (IF): only the HCA-facing port of the ingress
+  switch filters, with just the attached node's p entries.  One f(p) lookup
+  per packet — still paid by every legitimate packet forever.
+* :class:`SIFPortFilter` (Stateful Ingress Filtering — the proposal):
+  normally *disabled, zero cost*.  A destination HCA's P_Key-violation trap
+  makes the SM register the bad P_Key here and switch filtering on; an
+  Ingress P_Key Violation Counter ages it back off when the attack stops.
+  When the attacker sprays so many distinct P_Keys that the
+  Invalid_P_Key_Table would outgrow the partition table, the filter flips
+  from blacklist to whitelist mode ("the Invalid_P_Key_Table should be used
+  as long as the number of entries is smaller than the partition table").
+
+Every filter lets subnet-management packets (default P_Key 0xFFFF) through:
+partition enforcement never gates the management plane.
+"""
+
+from __future__ import annotations
+
+from repro.iba.keys import PKey
+from repro.iba.packet import DataPacket
+from repro.sim.engine import Engine, PS_PER_US
+
+
+def _is_management(pkey: PKey) -> bool:
+    return pkey.value == PKey.DEFAULT
+
+
+class DPTPortFilter:
+    """Always-on filter holding the full subnet partition table."""
+
+    def __init__(self, subnet_pkey_indices: set[int], lookup_ns: float) -> None:
+        self.table = set(subnet_pkey_indices)
+        self.lookup_ns = lookup_ns
+        self.lookups = 0
+        self.drops = 0
+
+    def process(self, packet: DataPacket, now_ps: int) -> tuple[bool, float]:
+        self.lookups += 1
+        if _is_management(packet.pkey) or packet.pkey.index in self.table:
+            return True, self.lookup_ns
+        self.drops += 1
+        return False, self.lookup_ns
+
+
+class IngressPortFilter:
+    """Always-on ingress filter holding only the attached node's partitions."""
+
+    def __init__(self, node_pkey_indices: set[int], lookup_ns: float) -> None:
+        self.table = set(node_pkey_indices)
+        self.lookup_ns = lookup_ns
+        self.lookups = 0
+        self.drops = 0
+
+    def process(self, packet: DataPacket, now_ps: int) -> tuple[bool, float]:
+        self.lookups += 1
+        if _is_management(packet.pkey) or packet.pkey.index in self.table:
+            return True, self.lookup_ns
+        self.drops += 1
+        return False, self.lookup_ns
+
+
+class SIFPortFilter:
+    """Trap-activated, self-disabling ingress filter — the paper's design."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_pkey_indices: set[int],
+        lookup_ns: float,
+        idle_timeout_us: float,
+    ) -> None:
+        self.engine = engine
+        self.partition_table = set(node_pkey_indices)
+        self.lookup_ns = lookup_ns
+        self.idle_timeout_ps = round(idle_timeout_us * PS_PER_US)
+        self.enabled = False
+        #: Invalid_P_Key_Table — P_Key indices the SM registered.
+        self.invalid_table: set[int] = set()
+        #: Ingress P_Key Violation Counter (paper Section 3.3).
+        self.violation_counter = 0
+        self._counter_at_last_check = 0
+        self._timer_armed = False
+        # statistics
+        self.lookups = 0
+        self.drops = 0
+        self.activations = 0
+        self.deactivations = 0
+
+    # -- data path ----------------------------------------------------------
+
+    @property
+    def whitelist_mode(self) -> bool:
+        """True once the invalid table would be as big as the partition table."""
+        return len(self.invalid_table) >= max(1, len(self.partition_table))
+
+    def process(self, packet: DataPacket, now_ps: int) -> tuple[bool, float]:
+        if not self.enabled:
+            return True, 0.0  # SIF idle: no lookup, no stall
+        self.lookups += 1
+        if _is_management(packet.pkey):
+            return True, self.lookup_ns
+        idx = packet.pkey.index
+        if self.whitelist_mode:
+            ok = idx in self.partition_table
+        else:
+            ok = idx not in self.invalid_table
+        if not ok:
+            self.drops += 1
+            self.violation_counter += 1
+            return False, self.lookup_ns
+        return True, self.lookup_ns
+
+    # -- SM-facing control --------------------------------------------------
+
+    def register_invalid(self, pkey: PKey, now_ps: int) -> None:
+        """SM registers a trapped P_Key and enables filtering (Section 3.3)."""
+        self.invalid_table.add(pkey.index)
+        if not self.enabled:
+            self.enabled = True
+            self.activations += 1
+        if not self._timer_armed:
+            self._timer_armed = True
+            self._counter_at_last_check = self.violation_counter
+            self.engine.schedule(self.idle_timeout_ps, self._idle_check)
+
+    def _idle_check(self) -> None:
+        if not self.enabled:
+            self._timer_armed = False
+            return
+        if self.violation_counter == self._counter_at_last_check:
+            # "If this counter does not increase for some time, the switch
+            # disables ingress filtering by itself."
+            self.enabled = False
+            self.invalid_table.clear()
+            self.deactivations += 1
+            self._timer_armed = False
+            return
+        self._counter_at_last_check = self.violation_counter
+        self.engine.schedule(self.idle_timeout_ps, self._idle_check)
+
+
+def install_enforcement(fabric, mode) -> None:
+    """Wire the chosen enforcement mode into *fabric*'s switches.
+
+    Requires fabric.sm to exist with partitions already created.  For SIF the
+    SM's registration hooks are pointed at each node's ingress filter.
+    """
+    from repro.iba.switch import HCA_PORT
+    from repro.sim.config import EnforcementMode
+
+    cfg = fabric.config
+    sm = fabric.sm
+    if sm is None:
+        raise RuntimeError("fabric has no subnet manager")
+    subnet_indices = sm.valid_pkey_indices()
+
+    if mode is EnforcementMode.NONE:
+        return
+    if mode is EnforcementMode.DPT:
+        for sw in fabric.all_switches():
+            for port in range(sw.num_ports):
+                sw.set_port_filter(port, DPTPortFilter(subnet_indices, cfg.pkey_lookup_ns))
+        return
+    # IF and SIF filter only at the HCA-facing ingress port.
+    for lid in fabric.lids:
+        sw = fabric.ingress_switch(lid)
+        node_indices = sm.partitions_of(lid)
+        if mode is EnforcementMode.IF:
+            sw.set_port_filter(HCA_PORT, IngressPortFilter(node_indices, cfg.pkey_lookup_ns))
+        elif mode is EnforcementMode.SIF:
+            filt = SIFPortFilter(
+                fabric.engine,
+                node_indices,
+                cfg.pkey_lookup_ns,
+                cfg.sif_idle_timeout_us,
+            )
+            sw.set_port_filter(HCA_PORT, filt)
+            sm.registration_hooks[int(lid)] = filt.register_invalid
+        else:
+            raise ValueError(f"unknown enforcement mode {mode}")

@@ -1,0 +1,131 @@
+"""Analytical enforcement-overhead model — paper Table 2.
+
+The paper compares the three enforcement designs with closed-form costs for
+a subnet of *n* nodes and *s* switches where every node joins *p* partitions
+(one node per switch assumed, as in the paper):
+
+=====================  ==========  =======  =======================================
+quantity               DPT         IF       SIF
+=====================  ==========  =======  =======================================
+memory / one switch    n·p         p        p + Pr(n)·min(Avg(p), p)
+memory / all switches  n·p·s       p·n      p·n + Pr(n)·min(Avg(p), p)·n
+lookups / packet       f(n·p)      f(p)     Pr(n)·f(min(Avg(p), p))
+=====================  ==========  =======  =======================================
+
+``Pr(n)`` is the probability a node participates in a P_Key attack and
+``Avg(p)`` the average Invalid_P_Key_Table size; ``f(i)`` is the lookup cost
+for an i-entry table.  :class:`EnforcementOverheadModel` evaluates the table
+for any parameterization and any lookup-cost function (linear scan, binary
+search, CAM = constant), which is what the Table 2 benchmark prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+
+def f_linear(entries: float) -> float:
+    """Linear-scan lookup cost (operations = entries)."""
+    return float(entries)
+
+def f_binary(entries: float) -> float:
+    """Binary-search lookup cost (sorted SRAM table)."""
+    return math.log2(entries) if entries > 1 else 1.0
+
+def f_cam(entries: float) -> float:
+    """Content-addressable memory: one-cycle lookup regardless of size —
+    the regime the paper's CACTI argument puts HCA partition tables in."""
+    return 1.0
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One scheme's evaluated costs."""
+
+    scheme: str
+    memory_per_switch: float
+    memory_all_switches: float
+    lookups_per_packet: float
+
+
+@dataclass(frozen=True)
+class EnforcementOverheadModel:
+    """Parameters of Table 2's overhead formulas.
+
+    :param n: number of nodes.
+    :param s: number of switches.
+    :param p: partitions joined per node.
+    :param attack_probability: Pr(n), probability a node attacks.
+    :param avg_invalid_entries: Avg(p), mean Invalid_P_Key_Table size.
+    """
+
+    n: int
+    s: int
+    p: int
+    attack_probability: float = 0.0
+    avg_invalid_entries: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.s < 1 or self.p < 1:
+            raise ValueError("n, s, p must be positive")
+        if not 0.0 <= self.attack_probability <= 1.0:
+            raise ValueError("Pr(n) must be a probability")
+        if self.avg_invalid_entries < 0:
+            raise ValueError("Avg(p) must be non-negative")
+
+    # -- Table 2, row by row --------------------------------------------------
+
+    def dpt(self, f: Callable[[float], float] = f_linear) -> OverheadRow:
+        return OverheadRow(
+            scheme="DPT",
+            memory_per_switch=self.n * self.p,
+            memory_all_switches=self.n * self.p * self.s,
+            lookups_per_packet=f(self.n * self.p),
+        )
+
+    def ingress_filtering(self, f: Callable[[float], float] = f_linear) -> OverheadRow:
+        return OverheadRow(
+            scheme="IF",
+            memory_per_switch=self.p,
+            memory_all_switches=self.p * self.n,
+            lookups_per_packet=f(self.p),
+        )
+
+    def sif(self, f: Callable[[float], float] = f_linear) -> OverheadRow:
+        extra = self.attack_probability * min(self.avg_invalid_entries, self.p)
+        return OverheadRow(
+            scheme="SIF",
+            memory_per_switch=self.p + extra,
+            memory_all_switches=(self.p + extra) * self.n,
+            lookups_per_packet=self.attack_probability
+            * f(min(self.avg_invalid_entries, self.p)),
+        )
+
+    def rows(self, f: Callable[[float], float] = f_linear) -> list[OverheadRow]:
+        return [self.dpt(f), self.ingress_filtering(f), self.sif(f)]
+
+    # -- derived observations the paper makes ----------------------------------
+
+    def sif_beats_if_on_lookups(self, f: Callable[[float], float] = f_linear) -> bool:
+        """SIF's per-packet lookup cost is below IF's whenever attacks are
+        rare — 'SIF incurs practically no overhead on the table lookup time'."""
+        return self.sif(f).lookups_per_packet < self.ingress_filtering(f).lookups_per_packet
+
+    def memory_ratio_dpt_over_if(self) -> float:
+        """DPT spends n·s/n = s times IF's total memory… per switch it is n×."""
+        return self.dpt().memory_all_switches / self.ingress_filtering().memory_all_switches
+
+
+def pkey_table_bytes(num_pkeys: int) -> int:
+    """Memory for a P_Key table: one P_Key is 16 bits (Section 6's '64KB for
+    32768 P_Keys' arithmetic)."""
+    if num_pkeys < 0:
+        raise ValueError("num_pkeys must be non-negative")
+    return 2 * num_pkeys
+
+
+#: IBA maximum P_Keys per port and the resulting table size the paper quotes.
+MAX_PKEYS_PER_PORT = 32768
+MAX_PKEY_TABLE_BYTES = pkey_table_bytes(MAX_PKEYS_PER_PORT)  # 64 KiB

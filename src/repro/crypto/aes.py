@@ -1,0 +1,163 @@
+"""AES-128 (FIPS-197), implemented from the specification.
+
+Section 7 of the paper points at hardware AES as the path to "faster
+InfiniBand": "[39] recently proposed a security processor which can
+encrypt/decrypt at 30 to 70 Gbps.  Even though implementing the security
+processor in CA is not easy, its speed is comparable to IBA".  This module
+supplies the cipher itself (so :mod:`repro.crypto.cmac` can build the
+conventional block-cipher MAC that processor would run), and
+:mod:`repro.analysis.secproc` models the offload economics.
+
+The S-box is *computed* (multiplicative inverse in GF(2^8) followed by the
+affine transform) rather than transcribed, and the implementation is
+validated against the FIPS-197 appendix vectors in the tests.
+"""
+
+from __future__ import annotations
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) modulo x^8 + x^4 + x^3 + x + 1 (0x11B)."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= 0x11B
+    return result & 0xFF
+
+
+def _gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8) (0 maps to 0), via a^254."""
+    if a == 0:
+        return 0
+    result = 1
+    power = a
+    exp = 254
+    while exp:
+        if exp & 1:
+            result = _gf_mul(result, power)
+        power = _gf_mul(power, power)
+        exp >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    sbox = []
+    for x in range(256):
+        b = _gf_inv(x)
+        y = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            y ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        # note: the affine transform is b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63
+        sbox.append(y & 0xFF)
+    inv = [0] * 256
+    for i, v in enumerate(sbox):
+        inv[v] = i
+    return tuple(sbox), tuple(inv)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _expand_key(key: bytes) -> list[list[int]]:
+    """128-bit key schedule: 11 round keys of 16 bytes each."""
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [sum(words[4 * r : 4 * r + 4], []) for r in range(11)]
+
+
+def _sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = INV_SBOX[state[i]]
+
+
+# state layout: column-major, state[4*c + r] = byte at row r, column c.
+_SHIFT = tuple((4 * ((c + r) % 4) + r) for c in range(4) for r in range(4))
+_INV_SHIFT = tuple((4 * ((c - r) % 4) + r) for c in range(4) for r in range(4))
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    return [state[i] for i in _SHIFT]
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    return [state[i] for i in _INV_SHIFT]
+
+
+def _mix_columns(state: list[int], inverse: bool = False) -> list[int]:
+    coeffs = (0x0E, 0x0B, 0x0D, 0x09) if inverse else (0x02, 0x03, 0x01, 0x01)
+    out = [0] * 16
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        for r in range(4):
+            out[4 * c + r] = (
+                _gf_mul(coeffs[0], col[r])
+                ^ _gf_mul(coeffs[1], col[(r + 1) % 4])
+                ^ _gf_mul(coeffs[2], col[(r + 2) % 4])
+                ^ _gf_mul(coeffs[3], col[(r + 3) % 4])
+            )
+    return out
+
+
+class AES128:
+    """AES with a 128-bit key, 16-byte blocks.
+
+    >>> key = bytes(range(16))
+    >>> c = AES128(key)
+    >>> c.decrypt_block(c.encrypt_block(b'0123456789abcdef')) == b'0123456789abcdef'
+    True
+    """
+
+    block_size = 16
+    key_size = 16
+    rounds = 10
+
+    __slots__ = ("_round_keys",)
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError("AES-128 requires a 16-byte key")
+        self._round_keys = _expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = [b ^ k for b, k in zip(block, self._round_keys[0])]
+        for rnd in range(1, 10):
+            _sub_bytes(state)
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = [b ^ k for b, k in zip(state, self._round_keys[rnd])]
+        _sub_bytes(state)
+        state = _shift_rows(state)
+        state = [b ^ k for b, k in zip(state, self._round_keys[10])]
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = [b ^ k for b, k in zip(block, self._round_keys[10])]
+        state = _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        for rnd in range(9, 0, -1):
+            state = [b ^ k for b, k in zip(state, self._round_keys[rnd])]
+            state = _mix_columns(state, inverse=True)
+            state = _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+        return bytes(b ^ k for b, k in zip(state, self._round_keys[0]))

@@ -1,0 +1,40 @@
+"""Key derivation for partition-level and QP-level secret keys.
+
+The paper's key managers mint a fresh secret key per partition (Figure 2) or
+per QP relationship (Figure 3).  ``derive_key`` gives them a deterministic,
+domain-separated way to do so from a master secret plus context (partition
+P_Key, QP numbers, epoch), which keeps simulations reproducible while
+modelling "SM generates a secret key".
+
+Construction: HKDF-like expand using HMAC-SHA1 —
+``T(i) = HMAC(master, T(i-1) || context || i)``.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha1
+
+
+def derive_key(master: bytes, context: bytes, length: int = 16) -> bytes:
+    """Derive *length* bytes of key material bound to *context*.
+
+    Different contexts yield independent keys; the same (master, context,
+    length) always yields the same key.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if not master:
+        raise ValueError("master key must be non-empty")
+    out = b""
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = hmac_sha1(master, block + context + bytes([counter & 0xFF]))
+        out += block
+        counter += 1
+    return out[:length]
+
+
+def fresh_key(rng, length: int = 16) -> bytes:
+    """Mint a random secret key from a seeded ``random.Random`` stream."""
+    return bytes(rng.randrange(256) for _ in range(length))

@@ -1,0 +1,150 @@
+"""Textbook RSA with Miller–Rabin key generation.
+
+Section 4 of the paper assumes "SM knows public keys of all CAs and each CA
+can decrypt the secret key encrypted by the SM" (partition-level keys) and
+"each node has a table of public keys of other nodes" (QP-level keys).  This
+module supplies that public-key substrate: the Subnet Manager and peer nodes
+encrypt freshly minted 128-bit secret keys under the recipient CA's public
+key; only the recipient can recover them.
+
+Deterministic keygen is supported via a caller-provided ``random.Random`` so
+simulations are reproducible.  Padding is a minimal random-pad scheme (one
+0x01 byte, random non-zero pad, 0x00, message) — enough to make encryptions
+of equal keys distinct, *not* a hardened PKCS#1 v2 implementation.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+)
+
+
+def _is_probable_prime(n: int, rng: _random.Random, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: _random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """(n, e) — what the SM's public-key table stores per channel adapter."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt(self, message: bytes, rng: _random.Random | None = None) -> bytes:
+        """Encrypt *message* (must fit with >=11 bytes of padding overhead)."""
+        rng = rng or _random.Random()
+        k = self.byte_length
+        if len(message) > k - 11:
+            raise ValueError(
+                f"message of {len(message)} bytes too long for {k*8}-bit modulus"
+            )
+        pad_len = k - len(message) - 3
+        pad = bytes(rng.randrange(1, 256) for _ in range(pad_len))
+        em = b"\x00\x01" + pad + b"\x00" + message
+        c = pow(int.from_bytes(em, "big"), self.e, self.n)
+        return c.to_bytes(k, "big")
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """(n, d) plus CRT components for fast decryption."""
+
+    n: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        k = self.byte_length
+        if len(ciphertext) != k:
+            raise ValueError("ciphertext length does not match modulus")
+        c = int.from_bytes(ciphertext, "big")
+        if c >= self.n:
+            raise ValueError("ciphertext out of range")
+        # CRT: m = mq + q * ((mp - mq) * q^-1 mod p)
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        qinv = pow(self.q, -1, self.p)
+        mp = pow(c % self.p, dp, self.p)
+        mq = pow(c % self.q, dq, self.q)
+        h = (qinv * (mp - mq)) % self.p
+        m = mq + self.q * h
+        em = m.to_bytes(k, "big")
+        if not em.startswith(b"\x00\x01"):
+            raise ValueError("decryption error: bad padding header")
+        try:
+            sep = em.index(b"\x00", 2)
+        except ValueError as exc:
+            raise ValueError("decryption error: missing separator") from exc
+        return em[sep + 1 :]
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    public: RSAPublicKey
+    private: RSAPrivateKey
+
+
+def generate_keypair(bits: int = 512, rng: _random.Random | None = None, e: int = 65537) -> RSAKeyPair:
+    """Generate an RSA key pair with a *bits*-bit modulus.
+
+    512-bit keys are the default for simulation speed; tests also exercise
+    1024-bit.  Pass a seeded ``random.Random`` for reproducibility.
+    """
+    rng = rng or _random.Random()
+    if bits < 128:
+        raise ValueError("modulus too small to hold a padded 128-bit secret key")
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        pub = RSAPublicKey(n=n, e=e)
+        priv = RSAPrivateKey(n=n, d=d, p=p, q=q)
+        return RSAKeyPair(public=pub, private=priv)

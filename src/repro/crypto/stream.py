@@ -1,0 +1,90 @@
+"""Stream cipher and stream-cipher MAC (Section 7 of the paper).
+
+The paper's third fast-authentication alternative: "use a stream cipher MAC
+where MAC can be made while transferring data" (Lai, Rueppel & Woollven '92;
+Taylor '93).  The attraction for InfiniBand is that the tag is accumulated
+*as bytes stream through the link interface*, adding no store-and-forward
+stage at all.
+
+Two pieces:
+
+* :class:`StreamCipher` — an RC4-class byte-oriented keystream generator
+  (key-scheduled permutation of 256 bytes).  Stands in for whatever LFSR or
+  word-oriented cipher a real CA would use; only the "keystream you can tap
+  while forwarding" property matters here.
+* :func:`stream_mac` — a Toeplitz-style integrity check in the spirit of
+  Taylor's construction: message words are multiplied against keystream
+  words in GF(2^32)-linear fashion and accumulated, then the accumulator is
+  encrypted (masked) with further keystream.  One pass, constant state.
+"""
+
+from __future__ import annotations
+
+_M32 = 0xFFFFFFFF
+
+
+class StreamCipher:
+    """RC4-class keystream generator (KSA + PRGA).
+
+    >>> ks = StreamCipher(b"k" * 16)
+    >>> a = ks.keystream(8)
+    >>> b = StreamCipher(b"k" * 16).keystream(8)
+    >>> a == b
+    True
+    """
+
+    __slots__ = ("_s", "_i", "_j")
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("stream cipher key must be non-empty")
+        s = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + s[i] + key[i % len(key)]) & 0xFF
+            s[i], s[j] = s[j], s[i]
+        self._s = s
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, n: int) -> bytes:
+        """Next *n* keystream bytes."""
+        s = self._s
+        i, j = self._i, self._j
+        out = bytearray(n)
+        for k in range(n):
+            i = (i + 1) & 0xFF
+            j = (j + s[i]) & 0xFF
+            s[i], s[j] = s[j], s[i]
+            out[k] = s[(s[i] + s[j]) & 0xFF]
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def encrypt(self, data: bytes) -> bytes:
+        """XOR *data* with keystream (encryption == decryption)."""
+        ks = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, ks))
+
+
+def stream_mac(key: bytes, message: bytes, nonce: int = 0) -> int:
+    """One-pass 32-bit stream-cipher MAC of *message*.
+
+    The nonce is folded into the cipher key so each packet uses a distinct
+    keystream — reusing (key, nonce) across messages voids the integrity
+    guarantee, exactly as with any stream construction.
+    """
+    cipher = StreamCipher(key + nonce.to_bytes(8, "big"))
+    acc = 0
+    # Accumulate message 32-bit words against fresh keystream words: the
+    # "authenticate while transferring" single pass.
+    padded = message + b"\x00" * ((4 - len(message) % 4) % 4)
+    for off in range(0, len(padded), 4):
+        mw = int.from_bytes(padded[off : off + 4], "big")
+        kw = int.from_bytes(cipher.keystream(4), "big")
+        # GF(2)-linear mix plus rotation to spread bits across positions.
+        acc ^= (mw * (kw | 1)) & _M32
+        acc = ((acc << 7) | (acc >> 25)) & _M32
+    # Bind the length, then mask with final keystream (the Wegman–Carter step).
+    acc ^= len(message) & _M32
+    mask = int.from_bytes(cipher.keystream(4), "big")
+    return acc ^ mask

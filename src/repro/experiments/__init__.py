@@ -1,0 +1,29 @@
+"""Experiment presets — one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning plain data (rows/series)
+plus a ``format_*`` helper that prints the same rows the paper reports.
+Benchmarks under ``benchmarks/`` and the examples call these; tests assert
+the paper's shape invariants on scaled-down variants.
+"""
+
+from repro.experiments.fig1_dos import Fig1Point, run_fig1, format_fig1
+from repro.experiments.table2_overhead import run_table2, format_table2
+from repro.experiments.table4_macs import run_table4, format_table4
+from repro.experiments.fig5_enforcement import Fig5Bar, run_fig5, format_fig5
+from repro.experiments.fig6_auth import Fig6Point, run_fig6, format_fig6
+
+__all__ = [
+    "Fig1Point",
+    "run_fig1",
+    "format_fig1",
+    "run_table2",
+    "format_table2",
+    "run_table4",
+    "format_table4",
+    "Fig5Bar",
+    "run_fig5",
+    "format_fig5",
+    "Fig6Point",
+    "run_fig6",
+    "format_fig6",
+]

@@ -1,0 +1,102 @@
+"""Figure 1 — average queuing time & network latency under DoS attack.
+
+Two panels, each its own workload (Section 3.1/3.2):
+
+* (a) realtime traffic: all 15 honest nodes stream realtime packets inside
+  their partition; attackers flood the realtime VL.
+* (b) best-effort traffic: Poisson sources, attack on the best-effort VL.
+
+Queuing time averages over *all* packets — the attacker's own source queue
+is where the flood's damage shows first, and its packets are timed at the
+destination's P_Key discard because "they have already gone through the
+network, incurring a significant delay to other legal traffic".
+
+Paper's headline shape (the invariants our tests pin):
+queuing time grows from ~5 µs to ~100 µs (realtime) / ~350 µs (best-effort)
+as attackers go 0→4, while network latency degrades only marginally; the
+best-effort panel is hit harder because VL arbitration protects realtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import run_simulation
+
+#: Honest-node load (fraction of link bandwidth) for both panels.
+FIG1_LOAD = 0.5
+#: Attacker staging-queue depth (the paper's attacker queues unboundedly;
+#: this bounds memory while keeping the line driven at 100%).
+FIG1_BACKLOG = 128
+
+
+@dataclass(frozen=True)
+class Fig1Point:
+    """One x-axis position of a Figure 1 panel."""
+
+    attackers: int
+    queuing_us: float
+    network_us: float
+    samples: int
+
+
+def fig1_config(
+    traffic_class: str,
+    attackers: int,
+    sim_time_us: float = 2000.0,
+    seed: int = 3,
+) -> SimConfig:
+    """The SimConfig for one bar of panel (a) ('realtime') or (b)
+    ('best_effort')."""
+    if traffic_class not in ("realtime", "best_effort"):
+        raise ValueError("panel is 'realtime' or 'best_effort'")
+    rt = traffic_class == "realtime"
+    return SimConfig(
+        sim_time_us=sim_time_us,
+        seed=seed,
+        num_attackers=attackers,
+        vl_buffer_packets=4,
+        enable_realtime=rt,
+        enable_best_effort=not rt,
+        realtime_load=FIG1_LOAD,
+        best_effort_load=FIG1_LOAD,
+        attacker_backlog=FIG1_BACKLOG,
+        attacker_classes=(traffic_class,),
+        attack_duty_cycle=1.0,
+        count_attack_in_metrics=True,
+        keep_samples=False,
+    )
+
+
+def run_fig1(
+    traffic_class: str,
+    attacker_counts: tuple[int, ...] = (0, 1, 2, 3, 4),
+    sim_time_us: float = 2000.0,
+    seed: int = 3,
+) -> list[Fig1Point]:
+    """Regenerate one Figure 1 panel."""
+    points = []
+    for k in attacker_counts:
+        report = run_simulation(fig1_config(traffic_class, k, sim_time_us, seed))
+        stats = report.cls(traffic_class)
+        points.append(
+            Fig1Point(
+                attackers=k,
+                queuing_us=stats.queuing_us,
+                network_us=stats.network_us,
+                samples=stats.count,
+            )
+        )
+    return points
+
+
+def format_fig1(panel: str, points: list[Fig1Point]) -> str:
+    title = {
+        "realtime": "Figure 1(a) — realtime traffic",
+        "best_effort": "Figure 1(b) — best-effort traffic",
+    }[panel]
+    lines = [title, f"{'attackers':>9} {'queuing (us)':>14} {'net latency (us)':>18}"]
+    for p in points:
+        lines.append(f"{p.attackers:>9} {p.queuing_us:>14.2f} {p.network_us:>18.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Figure 5 — No Filtering vs DPT vs IF vs SIF under a 1 %-duty DoS attack.
+
+Four bar groups (input load 40/50/60/70 %), four bars each.  Every bar is
+the average network + queuing delay of **non-attacking traffic** while four
+attackers mount random-P_Key floods with a 1 % duty cycle ("we
+conservatively set the probability of DoS attack to 1%").
+
+The paper's observations, which are this experiment's shape targets:
+
+* No Filtering is worst everywhere: the flood's damage lingers in queues
+  long after each window.
+* DPT blocks the flood but pays the table lookup at *every hop*; IF pays it
+  once, at the ingress port, so IF ≤ DPT.
+* SIF ≈ IF: slightly *worse* at 40–50 % load — during each attack window
+  SIF admits flood packets for the trap/registration latency — and slightly
+  better at 60–70 % where IF's always-on lookups hurt and SIF's are off
+  99 % of the time (excluding attack windows the paper quotes 14.19 µs IF
+  vs 13.65 µs SIF).
+* SIF's standard deviation is the highest at low load (bursty leakage) and
+  comparatively lower at high load.
+
+Input load is expressed relative to the fabric's effective saturation
+throughput (interconnect convention); ``LOAD_SCALE`` maps it to absolute
+link-bandwidth fraction — see EXPERIMENTS.md for the calibration note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.engine import PS_PER_US
+from repro.sim.runner import SimReport, run_simulation
+
+#: input-load → absolute best-effort injection (fraction of link bandwidth).
+#: "Input load" follows interconnect convention (fraction of effective
+#: saturation throughput); 0.75 maps 70% input to ~0.53 link load, the knee
+#: of this fabric (EXPERIMENTS.md documents the calibration).
+LOAD_SCALE = 0.75
+#: the four bar groups of the figure.
+INPUT_LOADS = (0.40, 0.50, 0.60, 0.70)
+MODES = (
+    EnforcementMode.NONE,
+    EnforcementMode.DPT,
+    EnforcementMode.IF,
+    EnforcementMode.SIF,
+)
+
+
+@dataclass(frozen=True)
+class Fig5Bar:
+    """One bar: mode × input load."""
+
+    mode: str
+    input_load: float
+    queuing_us: float
+    network_us: float
+    queuing_std_us: float
+    network_std_us: float
+    filtered_at_switches: int
+    sif_activations: int
+
+    @property
+    def total_us(self) -> float:
+        return self.queuing_us + self.network_us
+
+
+def fig5_config(
+    mode: EnforcementMode,
+    input_load: float,
+    sim_time_us: float = 8000.0,
+    seed: int = 11,
+    attack_window_us: float = 100.0,
+) -> SimConfig:
+    return SimConfig(
+        sim_time_us=sim_time_us,
+        seed=seed,
+        num_attackers=4,
+        vl_buffer_packets=4,
+        enable_realtime=True,
+        realtime_load=0.10,
+        enable_best_effort=True,
+        best_effort_load=input_load * LOAD_SCALE,
+        attack_duty_cycle=0.01,
+        attack_window_us=attack_window_us,
+        attack_dest_strategy="victim",
+        attacker_backlog=32,
+        enforcement=mode,
+        pkey_lookup_ns=250.0,
+        sif_idle_timeout_us=3000.0,
+        count_attack_in_metrics=False,
+        keep_samples=True,
+    )
+
+
+def _combined(report: SimReport) -> tuple[float, float, float, float]:
+    """Sample-weighted queuing/network mean and std across both classes."""
+    from repro.sim.metrics import StatAccumulator
+
+    q, n = StatAccumulator(), StatAccumulator()
+    assert report.metrics is not None
+    for name in ("realtime", "best_effort"):
+        wq, wn = report.metrics.windowed(name, exclude=[])
+        q.merge(wq)
+        n.merge(wn)
+    return (
+        q.mean / PS_PER_US,
+        n.mean / PS_PER_US,
+        q.stddev / PS_PER_US,
+        n.stddev / PS_PER_US,
+    )
+
+
+def run_fig5(
+    input_loads: tuple[float, ...] = INPUT_LOADS,
+    modes: tuple[EnforcementMode, ...] = MODES,
+    sim_time_us: float = 8000.0,
+    seeds: tuple[int, ...] = (11, 12),
+) -> list[Fig5Bar]:
+    """Each bar is averaged over *seeds*: the 60-70% regime is
+    transient-dominated (the paper's own standard deviations blow up there
+    the same way), so single-seed bars are noisy."""
+    bars = []
+    for load in input_loads:
+        for mode in modes:
+            acc = []
+            filtered = activations = 0
+            for seed in seeds:
+                report = run_simulation(fig5_config(mode, load, sim_time_us, seed))
+                acc.append(_combined(report))
+                filtered += report.switch_filtered
+                activations += report.sif_activations
+            k = len(acc)
+            q, n, qs, ns = (sum(col) / k for col in zip(*acc))
+            bars.append(
+                Fig5Bar(
+                    mode=mode.value,
+                    input_load=load,
+                    queuing_us=q,
+                    network_us=n,
+                    queuing_std_us=qs,
+                    network_std_us=ns,
+                    filtered_at_switches=filtered,
+                    sif_activations=activations,
+                )
+            )
+    return bars
+
+
+def run_fig5_excluding_attack(
+    mode: EnforcementMode,
+    input_load: float = 0.40,
+    sim_time_us: float = 8000.0,
+    seed: int = 11,
+    attack_window_us: float = 100.0,
+) -> tuple[float, float]:
+    """The paper's aside: overall delay *excluding the attacking period*
+    (IF 14.19 µs vs SIF 13.65 µs).  Returns (queuing_us, network_us)."""
+    report = run_simulation(
+        fig5_config(mode, input_load, sim_time_us, seed, attack_window_us)
+    )
+    # widen each window by the drain time so lingering flood effects are out
+    pad = round(100 * PS_PER_US)
+    windows = [(s, e + pad) for s, e in report.attack_windows]
+    assert report.metrics is not None
+    from repro.sim.metrics import StatAccumulator
+
+    q, n = StatAccumulator(), StatAccumulator()
+    for name in ("realtime", "best_effort"):
+        wq, wn = report.metrics.windowed(name, exclude=windows)
+        q.merge(wq)
+        n.merge(wn)
+    return q.mean / PS_PER_US, n.mean / PS_PER_US
+
+
+def format_fig5(bars: list[Fig5Bar]) -> str:
+    lines = [
+        "Figure 5 — enforcement comparison (non-attacking traffic, 4 attackers, 1% duty)",
+        f"{'load':>5} {'mode':>6} {'queuing':>9} {'network':>9} {'total':>9} "
+        f"{'q.std':>7} {'n.std':>7} {'sw drops':>9}",
+    ]
+    for b in bars:
+        lines.append(
+            f"{b.input_load:>5.0%} {b.mode:>6} {b.queuing_us:>9.2f} {b.network_us:>9.2f} "
+            f"{b.total_us:>9.2f} {b.queuing_std_us:>7.2f} {b.network_std_us:>7.2f} "
+            f"{b.filtered_at_switches:>9}"
+        )
+    return "\n".join(lines)

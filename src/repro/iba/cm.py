@@ -1,0 +1,116 @@
+"""Communication Manager — reliable-connection (RC) setup.
+
+The paper's Section 4.3: "In connection-oriented service, two QPs only
+communicate between each other.  Since they cannot communicate with other
+QPs, packets only carry a P_Key; no Q_Key is included here. …  For two
+connection-oriented QPs to share a secret key, a QP that initiates the
+connection creates a secret key and sends it to a destination QP."
+
+This module models the CM handshake (REQ → REP → RTU, 1.5 round trips over
+the management plane) that brings a pair of RC QPs to the established
+state, and hooks the QP-level key manager so the initiator's secret is
+minted and installed on both ends during connection setup — RC's analogue
+of the datagram Q_Key-request exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.iba.keys import PKey
+from repro.iba.qp import QueuePair
+from repro.iba.types import LID, QPN, ServiceType
+
+
+@dataclass
+class RCConnection:
+    """One established (or establishing) RC channel between two nodes."""
+
+    initiator: LID
+    responder: LID
+    initiator_qp: QueuePair
+    responder_qp: QueuePair
+    established: bool = False
+    t_established_ps: int | None = None
+    #: observers notified on establishment.
+    _waiters: list[Callable[["RCConnection"], None]] = field(default_factory=list)
+
+    def on_established(self, fn: Callable[["RCConnection"], None]) -> None:
+        if self.established:
+            fn(self)
+        else:
+            self._waiters.append(fn)
+
+
+class ConnectionManager:
+    """Fabric-wide CM: allocates RC QPs and runs the setup handshake.
+
+    ``key_manager`` (optional, a :class:`repro.core.keymgmt.QPLevelKeyManager`)
+    gets ``register_rc_connection`` called during setup, so the first *data*
+    packet pays nothing — the paper's point that RC key exchange rides the
+    connection establishment that happens anyway.
+    """
+
+    #: management handshake legs: REQ, REP, RTU.
+    HANDSHAKE_LEGS = 3
+
+    def __init__(self, fabric, key_manager=None) -> None:
+        self.fabric = fabric
+        self.key_manager = key_manager
+        self._next_qpn = 0x10000
+        self.connections: list[RCConnection] = []
+        self.handshakes_completed = 0
+
+    def _alloc_qpn(self) -> QPN:
+        qpn = QPN(self._next_qpn)
+        self._next_qpn += 1
+        return qpn
+
+    def _one_way_ps(self, src: int, dst: int) -> int:
+        from repro.sim.runner import estimate_rtt_ps
+
+        return estimate_rtt_ps(self.fabric, src, dst) // 2
+
+    def connect(self, initiator: LID, responder: LID, pkey: PKey) -> RCConnection:
+        """Begin establishing an RC channel.  Returns immediately with the
+        connection object; QPs become usable when ``established`` flips
+        (after 1.5 RTTs of simulated management traffic)."""
+        if int(initiator) == int(responder):
+            raise ValueError("cannot connect a node to itself")
+        hca_i = self.fabric.hca(initiator)
+        hca_r = self.fabric.hca(responder)
+        if not hca_i.keys.has_matching_pkey(pkey) or not hca_r.keys.has_matching_pkey(pkey):
+            raise ValueError("both endpoints must hold the partition key")
+
+        qp_i = QueuePair(qpn=self._alloc_qpn(), service=ServiceType.RELIABLE_CONNECTION, pkey=pkey)
+        qp_r = QueuePair(qpn=self._alloc_qpn(), service=ServiceType.RELIABLE_CONNECTION, pkey=pkey)
+        qp_i.connected_to = (hca_r.lid, qp_r.qpn)
+        qp_r.connected_to = (hca_i.lid, qp_i.qpn)
+        hca_i.add_qp(qp_i)
+        hca_r.add_qp(qp_r)
+
+        conn = RCConnection(
+            initiator=hca_i.lid, responder=hca_r.lid,
+            initiator_qp=qp_i, responder_qp=qp_r,
+        )
+        self.connections.append(conn)
+        handshake = self.HANDSHAKE_LEGS * self._one_way_ps(int(initiator), int(responder))
+        self.fabric.engine.schedule(handshake, self._establish, conn)
+        return conn
+
+    def _establish(self, conn: RCConnection) -> None:
+        conn.established = True
+        conn.t_established_ps = self.fabric.engine.now
+        self.handshakes_completed += 1
+        if self.key_manager is not None and hasattr(self.key_manager, "register_rc_connection"):
+            # "a QP that initiates the connection creates a secret key and
+            # sends it to a destination QP" — encrypted under the responder
+            # node's public key, node-level distribution.
+            self.key_manager.register_rc_connection(
+                int(conn.initiator), int(conn.initiator_qp.qpn),
+                int(conn.responder), int(conn.responder_qp.qpn),
+            )
+        for fn in conn._waiters:
+            fn(conn)
+        conn._waiters.clear()

@@ -1,0 +1,248 @@
+"""Host Channel Adapter — injection, reception, and the security checkpoints.
+
+The HCA is where the paper's measurements and mechanisms meet:
+
+* **Queuing time** (Figure 1's exploding metric) is the wait in the HCA send
+  queue: with credit-based flow control the fabric only accepts a packet
+  when buffer space exists, so congestion queues here, not in the network.
+* The HCA owns the **partition table** ("The HCA must implement a partition
+  table ... to enforce access control") — the receive-side P_Key check, the
+  P_Key Violation Counter, and the **trap** to the Subnet Manager that SIF
+  turns into its activation signal.
+* The receive path runs the paper's full checkpoint sequence: P_Key →
+  Q_Key (datagram) → ICRC-or-AT verification → optional replay check.
+
+Authentication is injected as an :class:`AuthService` so the stock-IBA
+(plain ICRC) path and the paper's MAC path are interchangeable per run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Protocol
+
+from repro.iba.keys import KeySet, PKey
+from repro.iba.link import Link
+from repro.iba.packet import DataPacket, TrapMAD
+from repro.iba.qp import QueuePair
+from repro.iba.types import LID, QPN, ServiceType, TrafficClass, class_for_vl
+from repro.iba.arbiter import PRIORITY_VLS
+from repro.sim.engine import Engine, PS_PER_NS, PS_PER_US
+from repro.sim.metrics import LatencySample, MetricsCollector
+
+
+class AuthService(Protocol):
+    """Pluggable ICRC/AT machinery (implemented in :mod:`repro.core.auth`)."""
+
+    def prepare(self, packet: DataPacket, sender: "HCA") -> int:
+        """Stamp the packet's ICRC/AT.  Returns extra sender-side delay (ps)
+        — key-exchange round trips, MAC pipeline stage — incurred before the
+        packet may enter the send queue."""
+        ...
+
+    def verify(self, packet: DataPacket, receiver: "HCA") -> bool:
+        """Receive-side ICRC/AT check."""
+        ...
+
+    def verify_delay_ps(self) -> int:
+        """Extra receive-side pipeline delay per packet."""
+        ...
+
+
+class HCA:
+    """One node's channel adapter (one port, per Section 3.1's assumption)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        lid: LID,
+        num_vls: int,
+        vl_buffer_packets: int,
+        processing_delay_ns: float,
+        credit_return_delay_ns: float,
+        metrics: MetricsCollector | None = None,
+        warmup_ps: int = 0,
+        trap_min_interval_us: float = 20.0,
+    ) -> None:
+        self.engine = engine
+        self.lid = lid
+        self.num_vls = num_vls
+        self.processing_delay_ps = round(processing_delay_ns * PS_PER_NS)
+        self.credit_return_delay_ps = round(credit_return_delay_ns * PS_PER_NS)
+        self.metrics = metrics
+        self.warmup_ps = warmup_ps
+        # send side
+        self.send_queues: list[deque[DataPacket]] = [deque() for _ in range(num_vls)]
+        self.out_link: Link | None = None
+        # receive side
+        self.in_link: Link | None = None
+        self.rx_capacity = vl_buffer_packets
+        self._rx_occupancy = [0] * num_vls
+        # security state
+        self.keys = KeySet()
+        self.qps: dict[QPN, QueuePair] = {}
+        self.auth: AuthService | None = None
+        self.replay_protection = False
+        self.pkey_violations = 0
+        self.qkey_violations = 0
+        self.auth_failures = 0
+        self.replay_drops = 0
+        self.delivered = 0
+        #: called with a TrapMAD to reach the SM (wired by the fabric builder).
+        self.trap_sink: Callable[[TrapMAD], None] | None = None
+        self._trap_min_interval_ps = round(trap_min_interval_us * PS_PER_US)
+        self._last_trap_ps = -(10**18)
+        #: Figure-1 accounting: time attack packets too (at their drop point).
+        self.record_attack_packets = False
+
+    # --- wiring ------------------------------------------------------------
+
+    def attach_out_link(self, link: Link) -> None:
+        self.out_link = link
+        link.on_free = self._try_inject
+        link.on_credit = lambda vl: self._try_inject()
+
+    def attach_in_link(self, link: Link) -> None:
+        self.in_link = link
+
+    def add_qp(self, qp: QueuePair) -> None:
+        self.qps[qp.qpn] = qp
+
+    # --- send path -----------------------------------------------------------
+
+    def submit(self, packet: DataPacket) -> None:
+        """Consumer posts a send work request.  ``t_created`` is now."""
+        packet.t_created = self.engine.now
+        delay = 0
+        if self.auth is not None:
+            delay = self.auth.prepare(packet, self)
+        if delay > 0:
+            self.engine.schedule(delay, self._enqueue, packet)
+        else:
+            self._enqueue(packet)
+
+    def _enqueue(self, packet: DataPacket) -> None:
+        self.send_queues[packet.vl].append(packet)
+        self._try_inject()
+
+    def queue_depth(self, traffic_class: TrafficClass) -> int:
+        """Send-queue length for a class — realtime sources use this to
+        throttle themselves ("does not send any packet when the current
+        network status cannot support the ... bandwidth requirement")."""
+        return len(self.send_queues[traffic_class.vl])
+
+    def _try_inject(self) -> None:
+        link = self.out_link
+        if link is None:
+            return
+        while not link.busy and not link.failed:
+            packet = None
+            for vl in PRIORITY_VLS:
+                q = self.send_queues[vl]
+                if q and link.credits[vl] > 0:
+                    packet = q.popleft()
+                    break
+            if packet is None:
+                return
+            packet.t_injected = self.engine.now
+            link.send(packet)
+
+    # --- receive path -----------------------------------------------------------
+
+    def receive(self, packet: DataPacket, in_port: int = 0) -> None:
+        """Packet fully arrived from the fabric."""
+        vl = packet.vl
+        if self._rx_occupancy[vl] >= self.rx_capacity:
+            raise RuntimeError(f"HCA {self.lid} VL{vl} rx overflow — credit bug")
+        self._rx_occupancy[vl] += 1
+        delay = self.processing_delay_ps
+        if self.auth is not None:
+            delay += self.auth.verify_delay_ps()
+        self.engine.schedule(delay, self._rx_done, packet)
+
+    def _rx_done(self, packet: DataPacket) -> None:
+        self._check_and_deliver(packet)
+        vl = packet.vl
+        self._rx_occupancy[vl] -= 1
+        if self.in_link is not None:
+            self.engine.schedule(self.credit_return_delay_ps, self.in_link.return_credit, vl)
+
+    def _check_and_deliver(self, packet: DataPacket) -> None:
+        # 1. Partition membership (stock IBA check, plus trap on failure).
+        if not self.keys.has_matching_pkey(packet.pkey):
+            self.pkey_violations += 1
+            self._maybe_trap(packet)
+            self._drop("pkey")
+            # The flood crossed the whole fabric before dying here — that is
+            # the paper's availability complaint.  Figure 1 therefore times
+            # attack packets at their discard point.
+            if packet.is_attack and self.record_attack_packets:
+                self._record_sample(packet)
+            return
+        # 2. Datagram Q_Key check against the destination QP; connected
+        #    service instead checks the packet came from the bound peer
+        #    ("two QPs only communicate between each other").
+        qp = self.qps.get(packet.bth.dest_qp)
+        if packet.service is ServiceType.UNRELIABLE_DATAGRAM:
+            if qp is None or not qp.accepts_qkey(packet.qkey):
+                self.qkey_violations += 1
+                self._drop("qkey")
+                return
+        else:  # RELIABLE_CONNECTION
+            if (
+                qp is None
+                or qp.connected_to is None
+                or int(qp.connected_to[0]) != int(packet.src)
+            ):
+                self.qkey_violations += 1
+                self._drop("rc_peer")
+                return
+        # 3. ICRC or authentication-tag verification.
+        if self.auth is not None and not self.auth.verify(packet, self):
+            self.auth_failures += 1
+            self._drop("auth")
+            return
+        # 4. Optional replay (nonce) check — Section 7 extension.
+        if self.replay_protection and qp is not None and packet.src_qp is not None:
+            if not qp.check_replay(packet.src, packet.src_qp, packet.bth.psn):
+                self.replay_drops += 1
+                self._drop("replay")
+                return
+        self.delivered += 1
+        if not packet.is_attack or self.record_attack_packets:
+            self._record_sample(packet)
+
+    def _record_sample(self, packet: DataPacket) -> None:
+        if self.metrics is None or packet.t_created < self.warmup_ps:
+            return
+        self.metrics.record_delivery(
+            LatencySample(
+                created=packet.t_created,
+                injected=packet.t_injected,
+                delivered=self.engine.now,
+                traffic_class=class_for_vl(packet.vl).value,
+                source=int(packet.src),
+                destination=int(packet.dst),
+            )
+        )
+
+    def _drop(self, reason: str) -> None:
+        if self.metrics is not None:
+            self.metrics.record_drop(reason)
+
+    def _maybe_trap(self, packet: DataPacket) -> None:
+        """Send a P_Key-violation trap to the SM (rate-limited)."""
+        if self.trap_sink is None:
+            return
+        now = self.engine.now
+        if now - self._last_trap_ps < self._trap_min_interval_ps:
+            return
+        self._last_trap_ps = now
+        self.trap_sink(
+            TrapMAD(
+                reporter=self.lid,
+                offender=packet.src,
+                bad_pkey=packet.pkey,
+                t_created=now,
+            )
+        )

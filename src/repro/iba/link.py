@@ -1,0 +1,137 @@
+"""Unidirectional physical link with credit-based flow control.
+
+IBA flow control is credit-based per VL: a transmitter may only start a
+packet when the receiver's input buffer for that VL has advertised space.
+This is why the paper measures *queuing time at the HCA* rather than
+in-network loss — "the IBA network accepts a new packet only when there is
+available buffer", so congestion (and DoS pressure) backs up all the way to
+the source instead of dropping packets mid-fabric.
+
+A :class:`Link` owns:
+
+* the serialization resource (one packet on the wire at a time, timed from
+  ``wire_length`` bytes at the configured byte time);
+* the per-VL credit counters mirroring the receiver's buffer space;
+* callbacks the owning sender registers to be re-armed when the link frees
+  or a credit comes back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.iba.packet import DataPacket
+from repro.sim.engine import Engine, PS_PER_NS
+
+
+class Receiver(Protocol):
+    """Anything a link can terminate at (switch or HCA)."""
+
+    def receive(self, packet: DataPacket, in_port: int) -> None: ...
+
+
+class Link:
+    """One direction of a physical IBA link.
+
+    ``credits[vl]`` mirrors free packet slots in the receiver's VL buffer at
+    the far end.  ``send`` consumes one credit and occupies the wire;
+    the receiver calls :meth:`return_credit` when it drains the slot.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "byte_time_ps",
+        "wire_delay_ps",
+        "dst",
+        "dst_port",
+        "credits",
+        "busy",
+        "on_free",
+        "on_credit",
+        "packets_sent",
+        "bytes_sent",
+        "failed",
+        "tap",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        byte_time_ps: int,
+        dst: Receiver,
+        dst_port: int,
+        num_vls: int,
+        credits_per_vl: int,
+        wire_delay_ns: float = 10.0,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.byte_time_ps = byte_time_ps
+        self.wire_delay_ps = round(wire_delay_ns * PS_PER_NS)
+        self.dst = dst
+        self.dst_port = dst_port
+        self.credits = [credits_per_vl] * num_vls
+        self.busy = False
+        #: sender callback: wire became free.
+        self.on_free: Callable[[], None] | None = None
+        #: sender callback: a credit for some VL returned.
+        self.on_credit: Callable[[int], None] | None = None
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        #: a failed link accepts no new packets (fault injection).
+        self.failed = False
+        #: passive eavesdropper hook: called with each packet at send time
+        #: ("a packet can be captured on the link" — paper Section 4.1).
+        self.tap: Callable[[DataPacket], None] | None = None
+
+    def can_send(self, vl: int) -> bool:
+        return not self.failed and not self.busy and self.credits[vl] > 0
+
+    def fail(self) -> None:
+        """Take the link down.  The frame currently on the wire completes
+        (it has already left the transmitter); everything behind it waits
+        until :meth:`restore`."""
+        self.failed = True
+
+    def restore(self) -> None:
+        self.failed = False
+        if self.on_credit is not None:
+            self.on_credit(0)  # re-arm the sender's scheduler
+        if self.on_free is not None and not self.busy:
+            self.on_free()
+
+    def serialization_ps(self, packet: DataPacket) -> int:
+        return packet.wire_length * self.byte_time_ps
+
+    def send(self, packet: DataPacket) -> None:
+        """Begin transmitting *packet*.  Caller must have checked can_send."""
+        vl = packet.vl
+        if self.failed:
+            raise RuntimeError(f"link {self.name} is down")
+        if self.busy:
+            raise RuntimeError(f"link {self.name} busy")
+        if self.credits[vl] <= 0:
+            raise RuntimeError(f"link {self.name} has no VL{vl} credit")
+        if self.tap is not None:
+            self.tap(packet)
+        self.credits[vl] -= 1
+        self.busy = True
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_length
+        ser = self.serialization_ps(packet)
+        self.engine.schedule(ser, self._complete, packet)
+
+    def _complete(self, packet: DataPacket) -> None:
+        self.busy = False
+        # Store-and-forward: the packet is fully at the far end now (+wire).
+        self.engine.schedule(self.wire_delay_ps, self.dst.receive, packet, self.dst_port)
+        if self.on_free is not None:
+            self.on_free()
+
+    def return_credit(self, vl: int) -> None:
+        """Receiver drained one VL slot; re-arm the sender."""
+        self.credits[vl] += 1
+        if self.on_credit is not None:
+            self.on_credit(vl)

@@ -1,0 +1,152 @@
+"""Subnet Management Packets (SMPs) — the management plane Table 3's
+M_Key/B_Key threats live on.
+
+IBA management is MAD-based: 256-byte datagrams on VL15 carrying a method
+(Get/Set/Trap), an attribute (PortInfo, P_KeyTable, …) and, for subnet
+management, the 64-bit M_Key that must match the target port's configured
+M_Key before a Set is honoured.  Baseboard management MADs are gated by the
+B_Key the same way.
+
+This module models the attribute store of a managed port and the check
+sequence a real SMA (subnet management agent) performs, so:
+
+* the Subnet Manager configures ports through the same packets an attacker
+  would forge ("Since M_Key controls almost everything in a subnet, leaking
+  M_Key becomes a serious problem");
+* :mod:`repro.core.threats` can run the M_Key/B_Key rows of Table 3 through
+  a faithful code path — including the variant where SMPs themselves carry
+  an authentication tag in their ICRC field, closing the forgery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.iba.keys import BKey, MKey, PKey
+from repro.iba.types import LID
+
+
+class MadMethod(enum.Enum):
+    GET = "SubnGet"
+    SET = "SubnSet"
+    TRAP = "SubnTrap"
+    GET_RESP = "SubnGetResp"
+
+
+class MadAttribute(enum.Enum):
+    PORT_INFO = 0x0015
+    PKEY_TABLE = 0x0016
+    GUID_INFO = 0x0014
+    SM_INFO = 0x0020
+    NOTICE = 0x0002
+    #: baseboard management (gated by B_Key, not M_Key)
+    BM_CONTROL = 0x0031
+
+
+@dataclass
+class SMP:
+    """One subnet-management packet (256 bytes on the wire, VL15)."""
+
+    method: MadMethod
+    attribute: MadAttribute
+    source: LID
+    target: LID
+    mkey: MKey | None = None
+    bkey: BKey | None = None
+    payload: dict = field(default_factory=dict)
+    wire_length: int = 256
+
+    @property
+    def is_set(self) -> bool:
+        return self.method is MadMethod.SET
+
+
+class MadStatus(enum.Enum):
+    OK = "ok"
+    BAD_MKEY = "bad_mkey"
+    BAD_BKEY = "bad_bkey"
+    UNSUPPORTED = "unsupported"
+
+
+@dataclass
+class PortAttributes:
+    """The management-visible state of one port (what SubnSet mutates)."""
+
+    lid: LID
+    mkey: MKey = field(default_factory=lambda: MKey(0))
+    bkey: BKey = field(default_factory=lambda: BKey(0))
+    port_state: str = "active"  #: active | down | init
+    master_sm_lid: LID = LID(0)
+    pkey_table: list[PKey] = field(default_factory=list)
+    #: P_Key Violation Counter — IBA's per-port counter the paper extends
+    #: with the switch-side Ingress P_Key Violation Counter.
+    pkey_violation_counter: int = 0
+    #: M_Key violation counter (failed SubnSets).
+    mkey_violation_counter: int = 0
+    baseboard_config: dict = field(default_factory=dict)
+
+
+class ManagementAgent:
+    """The SMA/BMA of one node: applies MADs against its port attributes."""
+
+    def __init__(self, attributes: PortAttributes) -> None:
+        self.attributes = attributes
+        self.processed = 0
+
+    def handle(self, smp: SMP) -> tuple[MadStatus, dict]:
+        """Process one MAD; returns (status, response payload)."""
+        self.processed += 1
+        attrs = self.attributes
+        if smp.attribute is MadAttribute.BM_CONTROL:
+            # baseboard plane: B_Key gate
+            if smp.is_set and not attrs.bkey.permits(smp.bkey):
+                return MadStatus.BAD_BKEY, {}
+            if smp.is_set:
+                attrs.baseboard_config.update(smp.payload)
+            return MadStatus.OK, dict(attrs.baseboard_config)
+
+        # subnet-management plane: M_Key gate on Set (Get is open unless the
+        # port hides behind a non-zero M_Key with full protection; we model
+        # the common Set-protection level).
+        if smp.is_set and not attrs.mkey.permits(smp.mkey):
+            attrs.mkey_violation_counter += 1
+            return MadStatus.BAD_MKEY, {}
+
+        if smp.attribute is MadAttribute.PORT_INFO:
+            if smp.is_set:
+                attrs.port_state = smp.payload.get("port_state", attrs.port_state)
+                if "mkey" in smp.payload:
+                    attrs.mkey = MKey(smp.payload["mkey"])
+                if "master_sm_lid" in smp.payload:
+                    attrs.master_sm_lid = LID(smp.payload["master_sm_lid"])
+            return MadStatus.OK, {
+                "port_state": attrs.port_state,
+                "master_sm_lid": int(attrs.master_sm_lid),
+                "pkey_violations": attrs.pkey_violation_counter,
+            }
+        if smp.attribute is MadAttribute.PKEY_TABLE:
+            if smp.is_set:
+                attrs.pkey_table = [PKey(v) for v in smp.payload.get("pkeys", [])]
+            return MadStatus.OK, {"pkeys": [p.value for p in attrs.pkey_table]}
+        return MadStatus.UNSUPPORTED, {}
+
+
+def reconfigure_port(
+    agent: ManagementAgent,
+    attacker_lid: LID,
+    captured_mkey: MKey | None,
+    new_state: str = "down",
+) -> bool:
+    """Table 3's M_Key attack as an executable: try to SubnSet the port
+    down with a (possibly captured) M_Key.  True = the port went down."""
+    smp = SMP(
+        method=MadMethod.SET,
+        attribute=MadAttribute.PORT_INFO,
+        source=attacker_lid,
+        target=agent.attributes.lid,
+        mkey=captured_mkey,
+        payload={"port_state": new_state},
+    )
+    status, _ = agent.handle(smp)
+    return status is MadStatus.OK and agent.attributes.port_state == new_state

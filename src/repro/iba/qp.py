@@ -1,0 +1,80 @@
+"""Queue Pairs — IBA's communication endpoints.
+
+The paper's QP-level key management (Section 4.3) hangs off the QP
+lifecycle, so the model keeps the parts that matter:
+
+* **UD (datagram) QPs** hold a Q_Key; a sender must present it in the DETH,
+  and learns it via a Q_Key request/response exchange.  The paper mints a
+  fresh *secret key* on every such request.
+* **RC (connected) QPs** are bound to exactly one remote QP and carry no
+  Q_Key ("its QPs are created to communicate with each other"); the
+  connection initiator mints the secret key.
+
+PSNs increase per QP and double as MAC nonces / replay counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.iba.keys import PKey, QKey
+from repro.iba.types import QPN, LID, ServiceType
+
+
+@dataclass
+class QueuePair:
+    """One queue pair on an HCA."""
+
+    qpn: QPN
+    service: ServiceType
+    pkey: PKey
+    qkey: QKey | None = None  #: UD only.
+    #: RC only: the single remote endpoint this QP is connected to.
+    connected_to: tuple[LID, QPN] | None = None
+    _psn: int = 0
+    #: replay state: highest PSN seen per (source LID, source QPN).
+    seen_psn: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def next_psn(self) -> int:
+        """Allocate the next 24-bit packet sequence number."""
+        psn = self._psn
+        self._psn = (self._psn + 1) & 0xFFFFFF
+        return psn
+
+    def accepts_qkey(self, presented: QKey | None) -> bool:
+        """UD delivery check: DETH Q_Key must match ours."""
+        if self.service is not ServiceType.UNRELIABLE_DATAGRAM:
+            return True  # RC packets carry no Q_Key
+        return presented is not None and self.qkey is not None and presented.value == self.qkey.value
+
+    #: anti-replay window width (packets); reorder beyond this is rejected.
+    REPLAY_WINDOW = 64
+
+    def check_replay(self, src: LID, src_qp: QPN, psn: int) -> bool:
+        """Section-7 nonce check with an IPSec-style sliding window.
+
+        Duplicates are always rejected; *bounded* reordering (two VLs from
+        the same source QP can legitimately interleave) is tolerated up to
+        :data:`REPLAY_WINDOW` packets behind the highest PSN seen.  24-bit
+        wrap-around uses serial-number arithmetic.
+        """
+        key = (int(src), int(src_qp))
+        state = self.seen_psn.get(key)
+        if state is None:
+            self.seen_psn[key] = (psn, 1)  # (highest, bitmap with bit0 = highest)
+            return True
+        highest, bitmap = state
+        delta = (psn - highest) & 0xFFFFFF
+        if delta != 0 and delta < 0x800000:
+            # ahead of everything seen: slide the window forward
+            bitmap = ((bitmap << delta) | 1) & ((1 << self.REPLAY_WINDOW) - 1)
+            self.seen_psn[key] = (psn, bitmap)
+            return True
+        behind = (highest - psn) & 0xFFFFFF
+        if behind >= self.REPLAY_WINDOW:
+            return False  # too old to vouch for
+        bit = 1 << behind
+        if bitmap & bit:
+            return False  # duplicate — the replay the paper is after
+        self.seen_psn[key] = (highest, bitmap | bit)
+        return True

@@ -1,0 +1,203 @@
+"""5-port InfiniBand switch with optional per-port partition enforcement.
+
+The data path is an input-queued, store-and-forward crossbar:
+
+1. A packet fully arrives at an input port (the upstream link consumed a
+   credit for the slot it now occupies).
+2. The routing/enforcement pipeline runs: fixed routing delay, plus — when a
+   partition-enforcement policy is attached to the input port — the P_Key
+   table lookup stall the paper analyses in Table 2.  The policy may drop
+   the packet (invalid P_Key), which is the whole point of Section 3.
+3. Surviving packets become *ready* and compete for their output port under
+   VL arbitration (realtime VLs strictly above best-effort).
+4. Forwarding a packet frees its input slot; the credit flows back upstream
+   after the credit-return delay.
+
+Enforcement policies are injected (``set_port_filter``), keeping this
+module substrate-only; the DPT/IF/SIF policies live in
+:mod:`repro.core.enforcement`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.iba.arbiter import VLArbiter
+from repro.iba.buffers import InputBuffer
+from repro.iba.link import Link
+from repro.iba.packet import DataPacket
+from repro.sim.engine import Engine, PS_PER_NS
+
+#: Port index that faces the attached HCA on every switch.
+HCA_PORT = 0
+
+
+class PortFilter(Protocol):
+    """Partition-enforcement hook attached to a switch input port.
+
+    ``process`` returns ``(accept, extra_delay_ns)``: whether the packet may
+    continue, and how long the enforcement lookup stalled the pipeline
+    (0.0 when the filter is disabled — SIF's idle state costs nothing).
+    """
+
+    def process(self, packet: DataPacket, now_ps: int) -> tuple[bool, float]: ...
+
+
+class Switch:
+    """One 5-port switch of the mesh."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        num_ports: int,
+        num_vls: int,
+        vl_buffer_packets: int,
+        routing_delay_ns: float,
+        credit_return_delay_ns: float,
+        arbiter_high_limit: int | None = None,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.num_ports = num_ports
+        self.num_vls = num_vls
+        self.routing_delay_ps = round(routing_delay_ns * PS_PER_NS)
+        self.credit_return_delay_ps = round(credit_return_delay_ns * PS_PER_NS)
+        self.inputs = [InputBuffer(num_vls, vl_buffer_packets) for _ in range(num_ports)]
+        #: out_links[p] — link leaving port p (None if port unwired).
+        self.out_links: list[Link | None] = [None] * num_ports
+        #: in_links[p] — upstream link feeding port p (for credit returns).
+        self.in_links: list[Link | None] = [None] * num_ports
+        self.filters: list[PortFilter | None] = [None] * num_ports
+        self.route_table: dict[int, int] = {}  #: dest LID -> output port
+        self.arbiter = VLArbiter(num_vls, high_limit=arbiter_high_limit)
+        # statistics
+        self.forwarded = 0
+        self.filtered_drops = 0
+        self.unroutable_drops = 0
+        self.lookup_stalls_ns = 0.0
+
+    # --- wiring -----------------------------------------------------------
+
+    def attach_out_link(self, port: int, link: Link) -> None:
+        self.out_links[port] = link
+        link.on_free = lambda p=port: self._pump(p)
+        link.on_credit = lambda vl, p=port: self._pump(p)
+
+    def attach_in_link(self, port: int, link: Link) -> None:
+        self.in_links[port] = link
+
+    def set_port_filter(self, port: int, policy: PortFilter | None) -> None:
+        self.filters[port] = policy
+
+    # --- data path ---------------------------------------------------------
+
+    def receive(self, packet: DataPacket, in_port: int) -> None:
+        """Packet fully arrived at *in_port* (store-and-forward)."""
+        self.inputs[in_port].begin_processing(packet.vl)
+        extra_ns = 0.0
+        accept = True
+        policy = self.filters[in_port]
+        if policy is not None:
+            accept, extra_ns = policy.process(packet, self.engine.now)
+            self.lookup_stalls_ns += extra_ns
+        delay = self.routing_delay_ps + round(extra_ns * PS_PER_NS)
+        self.engine.schedule(delay, self._pipeline_done, packet, in_port, accept)
+
+    def _pipeline_done(self, packet: DataPacket, in_port: int, accept: bool) -> None:
+        if not accept:
+            self.filtered_drops += 1
+            self._release_slot(in_port, packet.vl)
+            return
+        out_port = self.route_table.get(int(packet.dst))
+        if out_port is None or self.out_links[out_port] is None:
+            self.unroutable_drops += 1
+            self._release_slot(in_port, packet.vl)
+            return
+        self.inputs[in_port].make_ready(packet, out_port)
+        self._pump(out_port)
+
+    def reroute_buffered(self) -> int:
+        """Re-resolve the output port of every *ready* buffered packet
+        against the (possibly just-reprogrammed) route table.
+
+        Part of the SM's fault resweep: without it, a packet already
+        assigned to a now-dead output link would block its VL FIFO forever.
+        Packets whose destination no longer routes are discarded (counted
+        as unroutable) and their credits returned.  Returns the number of
+        packets dropped.
+        """
+        dropped = 0
+        for in_port, buffer in enumerate(self.inputs):
+            upstream = self.in_links[in_port]
+            for vl, fifo in enumerate(buffer.fifos):
+                kept = []
+                for entry in fifo.ready:
+                    new_port = self.route_table.get(int(entry.packet.dst))
+                    link = self.out_links[new_port] if new_port is not None else None
+                    if link is None or link.failed:
+                        self.unroutable_drops += 1
+                        dropped += 1
+                        if upstream is not None:
+                            self.engine.schedule(
+                                self.credit_return_delay_ps,
+                                upstream.return_credit,
+                                vl,
+                            )
+                        continue
+                    entry.out_port = new_port
+                    kept.append(entry)
+                fifo.ready.clear()
+                fifo.ready.extend(kept)
+        for port in range(self.num_ports):
+            self._pump(port)
+        return dropped
+
+    def _release_slot(self, in_port: int, vl: int, processing: bool = True) -> None:
+        """Free an input slot and send the credit back upstream."""
+        if processing:
+            self.inputs[in_port].drop_processing(vl)
+        upstream = self.in_links[in_port]
+        if upstream is not None:
+            self.engine.schedule(self.credit_return_delay_ps, upstream.return_credit, vl)
+
+    def _pump(self, out_port: int) -> None:
+        """Crossbar scheduling pass starting at *out_port*.
+
+        Forwarding a packet can expose a new FIFO head destined to a
+        *different* output port, so the pass keeps a worklist: whenever a
+        pop uncovers a head bound elsewhere, that port is (re)visited too.
+        This keeps each wakeup O(grants) instead of rescanning every port
+        (the event loop's hottest path, per profiling).
+        """
+        work = {out_port}
+        while work:
+            port = work.pop()
+            link = self.out_links[port]
+            if link is None:
+                continue
+            while not link.busy and not link.failed:
+                choice = self.arbiter.pick(
+                    port, self.inputs, lambda vl: link.credits[vl] > 0
+                )
+                if choice is None:
+                    break
+                in_port, entry = choice
+                fifo = self.inputs[in_port].fifos[entry.packet.vl]
+                self.inputs[in_port].pop_head(entry.packet.vl)
+                uncovered = fifo.head()
+                if uncovered is not None and uncovered.out_port != port:
+                    work.add(uncovered.out_port)
+                link.send(entry.packet)
+                self.forwarded += 1
+                # The input slot stays occupied until the outgoing
+                # transmission completes; only then does the credit travel
+                # back upstream.
+                ser = link.serialization_ps(entry.packet)
+                upstream = self.in_links[in_port]
+                if upstream is not None:
+                    self.engine.schedule(
+                        ser + self.credit_return_delay_ps,
+                        upstream.return_credit,
+                        entry.packet.vl,
+                    )

@@ -1,0 +1,229 @@
+"""Fabric construction: the paper's 16-node mesh of 5-port switches.
+
+"For our experiments, we simulated a 16-node mesh network designed using
+5-port switches and an HCA" — each switch spends four ports on its mesh
+neighbours (edge switches fewer) and one on its node's HCA.  Routing is
+dimension-ordered (X then Y), deadlock-free on a mesh.
+
+:func:`build_mesh` wires switches, HCAs, links (both directions), routing
+tables and returns a :class:`Fabric` handle used by the runner, the security
+layer, and tests.  :func:`build_line` gives a degenerate 1×N fabric for
+focused unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.iba.hca import HCA
+from repro.iba.link import Link
+from repro.iba.subnet_manager import SubnetManager
+from repro.iba.switch import HCA_PORT, Switch
+from repro.iba.types import LID
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricsCollector
+
+#: Mesh port numbering on every switch.
+PORT_EAST, PORT_WEST, PORT_NORTH, PORT_SOUTH = 1, 2, 3, 4
+
+_DIRS = {
+    PORT_EAST: (1, 0),
+    PORT_WEST: (-1, 0),
+    PORT_NORTH: (0, 1),
+    PORT_SOUTH: (0, -1),
+}
+_OPPOSITE = {PORT_EAST: PORT_WEST, PORT_WEST: PORT_EAST, PORT_NORTH: PORT_SOUTH, PORT_SOUTH: PORT_NORTH}
+
+
+@dataclass
+class Fabric:
+    """Everything built for one experiment run."""
+
+    engine: Engine
+    config: SimConfig
+    metrics: MetricsCollector
+    switches: dict[tuple[int, int], Switch] = field(default_factory=dict)
+    hcas: dict[int, HCA] = field(default_factory=dict)  #: LID -> HCA
+    #: LID -> (switch coordinates) of the node's ingress switch.
+    ingress_of: dict[int, tuple[int, int]] = field(default_factory=dict)
+    sm: SubnetManager | None = None
+
+    @property
+    def lids(self) -> list[int]:
+        return sorted(self.hcas)
+
+    def hca(self, lid: int) -> HCA:
+        return self.hcas[int(lid)]
+
+    def ingress_switch(self, lid: int) -> Switch:
+        return self.switches[self.ingress_of[int(lid)]]
+
+    def all_switches(self) -> list[Switch]:
+        return [self.switches[k] for k in sorted(self.switches)]
+
+
+def node_lid(x: int, y: int, width: int) -> LID:
+    """LID of the node attached to switch (x, y).  LID 0 is reserved."""
+    return LID(1 + y * width + x)
+
+
+def build_mesh(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> Fabric:
+    """Construct the width×height mesh fabric described by *config*."""
+    config.validate()
+    fabric = Fabric(engine=engine, config=config, metrics=metrics)
+    w, h = config.mesh_width, config.mesh_height
+    byte_ps = config.byte_time_ps
+
+    # switches and HCAs
+    for y in range(h):
+        for x in range(w):
+            sw = Switch(
+                engine,
+                name=f"sw({x},{y})",
+                num_ports=config.ports_per_switch,
+                num_vls=config.num_vls,
+                vl_buffer_packets=config.vl_buffer_packets,
+                routing_delay_ns=config.switch_routing_delay_ns,
+                credit_return_delay_ns=config.credit_return_delay_ns,
+                arbiter_high_limit=config.vl_arbitration_high_limit,
+            )
+            fabric.switches[(x, y)] = sw
+            lid = node_lid(x, y, w)
+            hca = HCA(
+                engine,
+                lid=lid,
+                num_vls=config.num_vls,
+                vl_buffer_packets=config.vl_buffer_packets,
+                processing_delay_ns=config.hca_processing_delay_ns,
+                credit_return_delay_ns=config.credit_return_delay_ns,
+                metrics=metrics,
+                warmup_ps=config.warmup_ps,
+            )
+            fabric.hcas[int(lid)] = hca
+            fabric.ingress_of[int(lid)] = (x, y)
+
+    # HCA <-> switch links
+    for (x, y), sw in fabric.switches.items():
+        lid = node_lid(x, y, w)
+        hca = fabric.hcas[int(lid)]
+        up = Link(
+            engine, f"hca{int(lid)}->sw({x},{y})", byte_ps, sw, HCA_PORT,
+            config.num_vls, config.vl_buffer_packets, config.wire_delay_ns,
+        )
+        hca.attach_out_link(up)
+        sw.attach_in_link(HCA_PORT, up)
+        down = Link(
+            engine, f"sw({x},{y})->hca{int(lid)}", byte_ps, hca, 0,
+            config.num_vls, config.vl_buffer_packets, config.wire_delay_ns,
+        )
+        sw.attach_out_link(HCA_PORT, down)
+        hca.attach_in_link(down)
+
+    # switch <-> switch links
+    for (x, y), sw in fabric.switches.items():
+        for port, (dx, dy) in _DIRS.items():
+            nx, ny = x + dx, y + dy
+            if (nx, ny) not in fabric.switches:
+                continue
+            neighbour = fabric.switches[(nx, ny)]
+            link = Link(
+                engine, f"sw({x},{y})->sw({nx},{ny})", byte_ps,
+                neighbour, _OPPOSITE[port], config.num_vls,
+                config.vl_buffer_packets, config.wire_delay_ns,
+            )
+            sw.attach_out_link(port, link)
+            neighbour.attach_in_link(_OPPOSITE[port], link)
+
+    # dimension-ordered (X then Y) routing tables
+    for (x, y), sw in fabric.switches.items():
+        for ty in range(h):
+            for tx in range(w):
+                dest = int(node_lid(tx, ty, w))
+                if tx > x:
+                    port = PORT_EAST
+                elif tx < x:
+                    port = PORT_WEST
+                elif ty > y:
+                    port = PORT_NORTH
+                elif ty < y:
+                    port = PORT_SOUTH
+                else:
+                    port = HCA_PORT
+                sw.route_table[dest] = port
+    return fabric
+
+
+def build_line(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> Fabric:
+    """1×N line fabric (config.mesh_height forced to 1) for unit tests."""
+    cfg = config.replace(mesh_height=1)
+    return build_mesh(engine, cfg, metrics)
+
+
+def path_length(fabric: Fabric, src: int, dst: int) -> int:
+    """Number of switch hops between two nodes under XY routing."""
+    sx, sy = fabric.ingress_of[int(src)]
+    dx, dy = fabric.ingress_of[int(dst)]
+    return abs(sx - dx) + abs(sy - dy) + 1
+
+
+def recompute_routes(fabric: Fabric, avoid: set[tuple[int, int]] | None = None) -> int:
+    """Rebuild every switch's forwarding table by BFS over *healthy* links.
+
+    The Subnet Manager's fault response: after a switch crash or link
+    failure it sweeps the subnet and reprograms forwarding so surviving
+    traffic routes around the hole (minimal paths, no longer necessarily
+    XY).  ``avoid`` lists crashed switches; links whose ``failed`` flag is
+    set are skipped automatically.  Returns the number of (switch, dest)
+    forwarding entries installed (unreachable pairs get none — packets to
+    them die as unroutable, which is the honest degraded behaviour).
+
+    Note: arbitrary minimal routing on a mesh lacks XY's deadlock-freedom
+    guarantee; fault-recovery experiments should run at moderate load, as
+    real degraded fabrics do.
+    """
+    from collections import deque
+
+    avoid = avoid or set()
+    # reverse adjacency over healthy directed links: B -> [(A, port on A)]
+    reverse: dict[tuple[int, int], list[tuple[tuple[int, int], int]]] = {
+        coords: [] for coords in fabric.switches
+    }
+    for coords, sw in fabric.switches.items():
+        if coords in avoid:
+            continue
+        for port, (dx, dy) in _DIRS.items():
+            ncoords = (coords[0] + dx, coords[1] + dy)
+            if ncoords in avoid or ncoords not in fabric.switches:
+                continue
+            link = sw.out_links[port]
+            if link is None or link.failed:
+                continue
+            reverse[ncoords].append((coords, port))
+
+    for sw in fabric.all_switches():
+        sw.route_table = {}
+    installed = 0
+    for dest_lid, dest_coords in fabric.ingress_of.items():
+        if dest_coords in avoid:
+            continue
+        fabric.switches[dest_coords].route_table[int(dest_lid)] = HCA_PORT
+        installed += 1
+        visited = {dest_coords}
+        frontier = deque([dest_coords])
+        while frontier:
+            here = frontier.popleft()
+            for upstream, port in reverse[here]:
+                if upstream in visited:
+                    continue
+                fabric.switches[upstream].route_table[int(dest_lid)] = port
+                visited.add(upstream)
+                frontier.append(upstream)
+                installed += 1
+    # flush/re-route packets already buffered toward dead outputs — the
+    # resweep isn't complete until in-flight state matches the new tables
+    for coords, sw in fabric.switches.items():
+        if coords in avoid:
+            continue
+        sw.reroute_buffered()
+    return installed

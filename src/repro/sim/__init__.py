@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates everything on a packet-level InfiniBand testbed; this
+package is the engine underneath our reproduction of that testbed: an event
+heap with a picosecond integer clock (:mod:`repro.sim.engine`), named seeded
+RNG streams (:mod:`repro.sim.rng`), latency/queuing statistics
+(:mod:`repro.sim.metrics`), experiment configuration
+(:mod:`repro.sim.config`), traffic generators and the DoS attacker
+(:mod:`repro.sim.traffic`), and the experiment runner
+(:mod:`repro.sim.runner`).
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.rng import RngStreams
+from repro.sim.metrics import StatAccumulator, LatencySample, MetricsCollector
+from repro.sim.config import SimConfig, EnforcementMode, AuthMode, KeyMgmtMode
+
+
+def __getattr__(name):
+    # Lazy: the runner pulls in repro.core and repro.iba, which themselves
+    # import leaf modules of this package — importing it eagerly here would
+    # create a cycle whenever a fabric module is imported first.
+    if name in ("SimReport", "run_simulation", "build_experiment"):
+        from repro.sim import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Engine",
+    "Event",
+    "RngStreams",
+    "StatAccumulator",
+    "LatencySample",
+    "MetricsCollector",
+    "SimConfig",
+    "EnforcementMode",
+    "AuthMode",
+    "KeyMgmtMode",
+    "SimReport",
+    "run_simulation",
+]

@@ -1,0 +1,211 @@
+"""Experiment configuration — every knob of the paper's testbed (Table 1)
+plus the security mechanisms under study.
+
+Defaults reproduce Table 1 exactly:
+
+====================================  =========
+Physical link bandwidth               2.5 Gbps
+Number of physical links per switch   5
+Number of VLs per physical link       16
+Realtime / best-effort MTU            1024 bytes
+====================================  =========
+
+All times inside the simulator are integer picoseconds (see
+:mod:`repro.sim.engine`); the config speaks human units (Gbps, µs, bytes)
+and converts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.engine import PS_PER_US
+
+
+class EnforcementMode(enum.Enum):
+    """Where (and whether) partition enforcement runs — Section 3.3."""
+
+    NONE = "none"  #: HCA-only checks; switches forward everything (baseline IBA).
+    DPT = "dpt"  #: Duplicate Partition Table — every switch filters at every hop.
+    IF = "if"  #: Ingress Filtering — only the source node's switch filters, always.
+    SIF = "sif"  #: Stateful Ingress Filtering — trap-driven, on-demand (the paper's proposal).
+
+
+class AuthMode(enum.Enum):
+    """What occupies the 32-bit ICRC field — Section 5.1."""
+
+    ICRC = "icrc"  #: Plain CRC-32 over invariant fields (stock IBA; BTH reserved = 0).
+    UMAC = "umac"  #: UMAC-2/4 authentication tag (the paper's pick).
+    HMAC_MD5 = "hmac_md5"  #: Truncated HMAC-MD5 tag.
+    HMAC_SHA1 = "hmac_sha1"  #: Truncated HMAC-SHA1 tag.
+    PMAC = "pmac"  #: Section-7 parallelizable MAC over XTEA.
+    STREAM = "stream"  #: Section-7 stream-cipher MAC.
+    AES_CMAC = "aes_cmac"  #: Section-7 security-processor path (ref [39]).
+
+
+class KeyMgmtMode(enum.Enum):
+    """How authentication secret keys are created and indexed — Section 4."""
+
+    NONE = "none"  #: No secret keys (auth must be ICRC).
+    PARTITION = "partition"  #: One secret key per partition, indexed by P_Key (Fig. 2).
+    QP = "qp"  #: Per-QP keys, indexed by (Q_Key, source QP) for datagrams (Fig. 3).
+
+
+@dataclass
+class SimConfig:
+    """Full experiment description.  See field comments for paper mapping."""
+
+    # --- Table 1 testbed parameters ---------------------------------------
+    link_bandwidth_gbps: float = 2.5  #: 1x IBA link.
+    ports_per_switch: int = 5  #: 4 mesh neighbours + 1 HCA.
+    num_vls: int = 16  #: VLs per physical link.
+    mtu_bytes: int = 1024  #: realtime and best-effort MTU.
+
+    # --- topology ----------------------------------------------------------
+    mesh_width: int = 4
+    mesh_height: int = 4
+
+    # --- timing model -------------------------------------------------------
+    switch_routing_delay_ns: float = 200.0  #: fixed per-hop pipeline latency.
+    pkey_lookup_ns: float = 100.0
+    """Partition-table lookup stall when a switch port filters (DPT/IF/SIF).
+
+    The paper argues via CACTI that one lookup is ~1 switch cycle; the
+    absolute cycle time of their switch is unpublished, so this is the
+    calibration knob for the DPT-vs-IF gap in Figure 5 (see EXPERIMENTS.md).
+    """
+    credit_return_delay_ns: float = 40.0  #: latency of a flow-control credit update.
+    wire_delay_ns: float = 10.0  #: signal propagation per link.
+    hca_processing_delay_ns: float = 100.0  #: receive-side CQE/processing cost.
+    mac_stage_delay_ns: float = 5.0
+    """One extra pipeline stage per authenticated message (Section 6: "one
+    additional stage at each end node per message")."""
+
+    # --- buffering / flow control -------------------------------------------
+    vl_buffer_packets: int = 4  #: input-buffer capacity (credits) per VL per port.
+
+    # --- partitions ----------------------------------------------------------
+    num_partitions: int = 4
+    partition_layout: str = "random"  #: "random" (paper) or "quadrant".
+
+    # --- workload -------------------------------------------------------------
+    realtime_load: float = 0.10  #: realtime stream rate as fraction of link bw.
+    best_effort_load: float = 0.40  #: Poisson injection rate as fraction of link bw.
+    enable_realtime: bool = True
+    enable_best_effort: bool = True
+    vl_arbitration_high_limit: int | None = None
+    """None = strict priority for realtime VLs (the paper's testbed).  A
+    positive value enables IBA's Limit-of-High-Priority counter: after that
+    many consecutive realtime grants on a port, one waiting best-effort
+    packet is served, bounding starvation."""
+    realtime_backoff_queue: int = 8
+    """Realtime sources skip generation when their send queue exceeds this —
+    "an application does not send any packet when the current network status
+    cannot support the application's bandwidth requirement"."""
+
+    # --- attack ---------------------------------------------------------------
+    num_attackers: int = 0
+    attack_duty_cycle: float = 1.0
+    """Fraction of simulated time the attack is active.  Figure 1 uses 1.0
+    (continuous); Figure 5 uses 0.01 ("we conservatively set the probability
+    of DoS attack to 1%")."""
+    attack_window_us: float = 50.0  #: length of each active window when duty < 1.
+    attacker_classes: tuple[str, ...] = ("realtime", "best_effort")
+    """VL classes the flooder sprays; both by default so realtime traffic is
+    also disturbed (Figure 1a)."""
+    attack_valid_pkey: bool = False  #: Section-7 variant: flood with a *valid* P_Key.
+    attack_dest_strategy: str = "spray"
+    """'spray' = fresh random destination per packet (Figure 1);
+    'victim' = one random node per attack window (Figure 5's bursty hits)."""
+    attacker_backlog: int = 32
+    """Frames the flooder keeps staged per class.  The attacker *generates*
+    at full line speed; this bounds how deep its own send queue grows while
+    the fabric withholds credits."""
+    count_attack_in_metrics: bool = False
+    """Figure 1 averages queuing time over *all* packets — including the
+    attacker's own, whose source queue is where flooding hurts first (attack
+    packets are timed at the moment the destination HCA discards them, since
+    'they have already gone through the network').  Figure 5 measures 'the
+    average ... delay of non-attacking traffic', i.e. False."""
+
+    # --- security mechanisms ----------------------------------------------------
+    enforcement: EnforcementMode = EnforcementMode.NONE
+    auth: AuthMode = AuthMode.ICRC
+    keymgmt: KeyMgmtMode = KeyMgmtMode.NONE
+    sm_trap_latency_us: float = 10.0  #: trap MAD transit + SM handling time.
+    sif_idle_timeout_us: float = 200.0
+    """SIF disables itself when the Ingress P_Key Violation Counter has not
+    advanced for this long."""
+    rsa_bits: int = 256
+    """Modulus size for the simulated PKI.  256 keeps multi-run sweeps fast;
+    examples and tests also exercise 512/1024."""
+    qp_key_exchange_rtt: bool = True
+    """QP-level key management pays one round-trip per communicating QP pair
+    before its first data packet (Figure 6's 'With Key' cost)."""
+    replay_protection: bool = False  #: Section-7 nonce/sequence-number check.
+
+    # --- run control ---------------------------------------------------------------
+    sim_time_us: float = 3000.0
+    warmup_us: float = 100.0  #: deliveries before this are not recorded.
+    seed: int = 1
+    keep_samples: bool = True
+
+    # --- derived quantities -----------------------------------------------------
+
+    @property
+    def byte_time_ps(self) -> int:
+        """Picoseconds to serialize one byte at the link rate (3200 at 2.5 Gbps)."""
+        return round(8000.0 / self.link_bandwidth_gbps)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def sim_time_ps(self) -> int:
+        return round(self.sim_time_us * PS_PER_US)
+
+    @property
+    def warmup_ps(self) -> int:
+        return round(self.warmup_us * PS_PER_US)
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.link_bandwidth_gbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.mesh_width < 1 or self.mesh_height < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        if not 0 <= self.num_attackers <= self.num_nodes:
+            raise ValueError("attacker count out of range")
+        if not 0.0 <= self.attack_duty_cycle <= 1.0:
+            raise ValueError("attack duty cycle must be in [0, 1]")
+        if self.num_partitions < 1:
+            raise ValueError("need at least one partition")
+        if self.num_partitions > self.num_nodes:
+            raise ValueError("more partitions than nodes")
+        if self.vl_buffer_packets < 1:
+            raise ValueError("need at least one credit per VL")
+        if self.num_vls < 2:
+            raise ValueError("need >= 2 VLs (one per traffic class)")
+        if self.auth is not AuthMode.ICRC and self.keymgmt is KeyMgmtMode.NONE:
+            raise ValueError(f"{self.auth} requires a key-management mode")
+        if self.vl_arbitration_high_limit is not None and self.vl_arbitration_high_limit < 1:
+            raise ValueError("vl_arbitration_high_limit must be None or >= 1")
+        if self.mtu_bytes < 64 or self.mtu_bytes > 4096:
+            raise ValueError("MTU out of IBA range")
+        if self.partition_layout not in ("random", "quadrant"):
+            raise ValueError("partition_layout must be 'random' or 'quadrant'")
+        if self.attack_dest_strategy not in ("spray", "victim"):
+            raise ValueError("attack_dest_strategy must be 'spray' or 'victim'")
+        unknown = set(self.attacker_classes) - {"realtime", "best_effort"}
+        if unknown:
+            raise ValueError(f"unknown attacker classes: {unknown}")
+
+    def replace(self, **kwargs) -> "SimConfig":
+        """Functional update (dataclasses.replace with validation)."""
+        import dataclasses
+
+        cfg = dataclasses.replace(self, **kwargs)
+        cfg.validate()
+        return cfg

@@ -1,0 +1,128 @@
+"""Fault injection — link failures and switch crashes with key leakage.
+
+Two of the paper's motivating sentences become executable here:
+
+* "a packet can be captured on the link" — :meth:`FaultInjector.tap_link`
+  gives an eavesdropper copies of everything crossing a link, including
+  the plaintext P_Keys/Q_Keys in the headers (feeding the Table 3 attacks);
+* "it is possible that a switch crashes and leaks Keys" —
+  :meth:`FaultInjector.crash_switch` takes a switch down (all its links
+  fail; traffic through it stalls at the sources, demonstrating the
+  credit-based backpressure once more) and returns the key material an
+  attacker could scrape from its state.
+
+Failures are scheduleable at absolute simulation times and reversible,
+so tests can assert both degraded and recovered behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.iba.keys import PKey, QKey
+from repro.iba.link import Link
+from repro.iba.packet import DataPacket
+from repro.iba.topology import Fabric
+
+
+@dataclass(frozen=True)
+class LeakedKeys:
+    """What a crashed/scraped switch gives the attacker: every plaintext
+    key its filter tables and in-flight packets held."""
+
+    switch: str
+    pkeys: frozenset[PKey]
+    qkeys: frozenset[QKey]
+
+
+@dataclass
+class FaultInjector:
+    """Schedules and tracks faults on one fabric."""
+
+    fabric: Fabric
+    failed_links: list[Link] = field(default_factory=list)
+    crashed: list[str] = field(default_factory=list)
+    taps: dict[str, list[DataPacket]] = field(default_factory=dict)
+
+    # -- link faults --------------------------------------------------------
+
+    def fail_link(self, link: Link, at_ps: int | None = None) -> None:
+        """Take *link* down now or at *at_ps*."""
+
+        def do_fail():
+            link.fail()
+            self.failed_links.append(link)
+
+        if at_ps is None:
+            do_fail()
+        else:
+            self.fabric.engine.schedule_at(at_ps, do_fail)
+
+    def restore_link(self, link: Link, at_ps: int | None = None) -> None:
+        def do_restore():
+            link.restore()
+            if link in self.failed_links:
+                self.failed_links.remove(link)
+
+        if at_ps is None:
+            do_restore()
+        else:
+            self.fabric.engine.schedule_at(at_ps, do_restore)
+
+    # -- switch crash -------------------------------------------------------
+
+    def crash_switch(self, coords: tuple[int, int], at_ps: int | None = None,
+                     on_leak: Callable[[LeakedKeys], None] | None = None) -> None:
+        """Crash the switch at *coords*: every attached link (both
+        directions) fails, and the keys scrapeable from its state leak."""
+        switch = self.fabric.switches[coords]
+
+        def do_crash():
+            pkeys: set[PKey] = set()
+            qkeys: set[QKey] = set()
+            for port in range(switch.num_ports):
+                for link in (switch.out_links[port], switch.in_links[port]):
+                    if link is not None and not link.failed:
+                        link.fail()
+                        self.failed_links.append(link)
+                # scrape buffered packets' plaintext keys
+                for fifo in switch.inputs[port].fifos:
+                    for entry in fifo.ready:
+                        pkeys.add(entry.packet.pkey)
+                        if entry.packet.qkey is not None:
+                            qkeys.add(entry.packet.qkey)
+                # scrape filter tables (valid P_Key indices are keys too)
+                filt = switch.filters[port]
+                for attr in ("table", "partition_table"):
+                    for idx in getattr(filt, attr, ()):  # type: ignore[union-attr]
+                        pkeys.add(PKey(idx | PKey.FULL_MEMBER_BIT))
+            self.crashed.append(switch.name)
+            if on_leak is not None:
+                on_leak(LeakedKeys(switch.name, frozenset(pkeys), frozenset(qkeys)))
+
+        if at_ps is None:
+            do_crash()
+        else:
+            self.fabric.engine.schedule_at(at_ps, do_crash)
+
+    # -- wire taps ----------------------------------------------------------
+
+    def tap_link(self, link: Link) -> list[DataPacket]:
+        """Attach a passive eavesdropper to *link*; returns the (live) list
+        of captured packets.  "A packet can be captured on the link"."""
+        captured: list[DataPacket] = []
+        self.taps[link.name] = captured
+        link.tap = captured.append
+        return captured
+
+    def captured_keys(self, link_name: str) -> tuple[set[PKey], set[QKey]]:
+        """Plaintext keys readable from a tap's captures — exactly what
+        Table 3's attacker starts from."""
+        pkeys: set[PKey] = set()
+        qkeys: set[QKey] = set()
+        for pkt in self.taps.get(link_name, []):
+            pkeys.add(pkt.pkey)
+            if pkt.qkey is not None:
+                qkeys.add(pkt.qkey)
+        return pkeys, qkeys

@@ -1,0 +1,328 @@
+"""Experiment runner: build a fabric from a :class:`SimConfig`, wire
+partitions, security mechanisms, traffic and attackers, run, and summarize.
+
+This is the function every figure/table benchmark calls.  One
+``run_simulation(config)`` is one bar/point of the paper's plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.attacks import RandomPKeyFlooder, make_attack_windows
+from repro.core.auth import IcrcAuthService, MacAuthService, auth_function_for
+from repro.core.enforcement import install_enforcement
+from repro.core.keymgmt import NodeDirectory, PartitionLevelKeyManager, QPLevelKeyManager
+from repro.iba.keys import PKey, QKey
+from repro.iba.packet import LOCAL_UD_OVERHEAD
+from repro.iba.qp import QueuePair
+from repro.iba.subnet_manager import SubnetManager
+from repro.iba.topology import Fabric, build_mesh, path_length
+from repro.iba.types import QPN, ServiceType
+from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
+from repro.sim.engine import Engine, PS_PER_US
+from repro.sim.metrics import MetricsCollector
+from repro.sim.rng import RngStreams
+from repro.sim.traffic import BestEffortSource, Peer, RealtimeSource
+
+
+@dataclass
+class ClassStats:
+    """Summary for one traffic class, in microseconds (the paper's unit)."""
+
+    queuing_us: float
+    network_us: float
+    queuing_std_us: float
+    network_std_us: float
+    count: int
+
+    @property
+    def total_us(self) -> float:
+        return self.queuing_us + self.network_us
+
+
+@dataclass
+class SimReport:
+    """Everything a benchmark needs from one run."""
+
+    config: SimConfig
+    stats: dict[str, ClassStats]
+    drops: dict[str, int]
+    delivered: int
+    attack_windows: list[tuple[int, int]]
+    switch_filtered: int = 0
+    switch_lookups: int = 0
+    sif_activations: int = 0
+    sif_deactivations: int = 0
+    traps_received: int = 0
+    traps_processed: int = 0
+    key_exchanges: int = 0
+    events_processed: int = 0
+    wall_seconds: float = 0.0
+    metrics: MetricsCollector | None = field(default=None, repr=False)
+
+    def cls(self, name: str) -> ClassStats:
+        return self.stats.get(
+            name, ClassStats(0.0, 0.0, 0.0, 0.0, 0)
+        )
+
+    def goodput_gbps(self, traffic_class: str) -> float:
+        """Delivered goodput of *traffic_class* over the run, in Gbit/s of
+        on-the-wire bytes (payload + headers), fabric-wide."""
+        from repro.iba.packet import LOCAL_UD_OVERHEAD
+
+        stats = self.cls(traffic_class)
+        wire_bits = (self.config.mtu_bytes + LOCAL_UD_OVERHEAD) * 8
+        seconds = self.config.sim_time_ps / 1e12
+        return stats.count * wire_bits / seconds / 1e9 if seconds > 0 else 0.0
+
+    def offered_load_gbps(self, traffic_class: str) -> float:
+        """Configured injection rate of the class, fabric-wide (honest
+        nodes only), for goodput/offered comparisons."""
+        load = {
+            "best_effort": self.config.best_effort_load if self.config.enable_best_effort else 0.0,
+            "realtime": self.config.realtime_load if self.config.enable_realtime else 0.0,
+        }.get(traffic_class, 0.0)
+        honest = self.config.num_nodes - self.config.num_attackers
+        return load * self.config.link_bandwidth_gbps * honest
+
+    def excluding_attack_windows(self, traffic_class: str) -> tuple[float, float]:
+        """(queuing_us, network_us) over deliveries injected outside attack
+        windows — the paper's IF-vs-SIF 14.19 µs / 13.65 µs comparison."""
+        if self.metrics is None:
+            raise RuntimeError("run with keep_samples=True for windowed stats")
+        q, n = self.metrics.windowed(traffic_class, exclude=self.attack_windows)
+        return q.mean / PS_PER_US, n.mean / PS_PER_US
+
+    def summary(self) -> str:
+        lines = [
+            f"enforcement={self.config.enforcement.value} auth={self.config.auth.value} "
+            f"keymgmt={self.config.keymgmt.value} attackers={self.config.num_attackers} "
+            f"be_load={self.config.best_effort_load:.0%}",
+        ]
+        for name in sorted(self.stats):
+            s = self.stats[name]
+            lines.append(
+                f"  {name:<12} queuing {s.queuing_us:8.2f} us (sd {s.queuing_std_us:7.2f})"
+                f"  network {s.network_us:8.2f} us (sd {s.network_std_us:7.2f})"
+                f"  n={s.count}"
+            )
+        if self.drops:
+            lines.append(f"  drops: {dict(sorted(self.drops.items()))}")
+        return "\n".join(lines)
+
+
+def estimate_rtt_ps(fabric: Fabric, src: int, dst: int) -> int:
+    """Round-trip estimate for a 256-byte management exchange, used as the
+    QP-level key-exchange cost ("one round trip time delay")."""
+    cfg = fabric.config
+    hops = path_length(fabric, src, dst)
+    links = hops + 1
+    one_way = links * (256 * cfg.byte_time_ps) + hops * round(
+        cfg.switch_routing_delay_ns * 1000
+    )
+    return 2 * one_way
+
+
+def build_experiment(config: SimConfig):
+    """Construct (engine, fabric, sources, attackers) without running.
+
+    Split from :func:`run_simulation` so tests can poke at intermediate
+    state and examples can drive the fabric interactively.
+    """
+    config.validate()
+    engine = Engine()
+    metrics = MetricsCollector(keep_samples=config.keep_samples)
+    fabric = build_mesh(engine, config, metrics)
+    streams = RngStreams(config.seed)
+
+    sm = SubnetManager(engine, trap_latency_us=config.sm_trap_latency_us)
+    fabric.sm = sm
+    for hca in fabric.hcas.values():
+        hca.trap_sink = sm.submit_trap
+
+    # --- partitions: "we partition the IBA network into four random groups"
+    lids = fabric.lids
+    if config.partition_layout == "random":
+        shuffled = lids[:]
+        streams.get("partitions").shuffle(shuffled)
+    else:  # quadrant: contiguous blocks
+        shuffled = sorted(lids)
+    partitions: dict[int, set[int]] = {}
+    pkeys: dict[int, PKey] = {}
+    for i in range(config.num_partitions):
+        index = i + 1
+        # strided assignment so every node lands in exactly one partition
+        # even when the node count doesn't divide evenly
+        members = set(shuffled[i :: config.num_partitions])
+        if not members:
+            continue
+        pkeys[index] = sm.create_partition(index, members)
+        for lid in members:
+            fabric.hca(lid).keys.grant_pkey(pkeys[index])
+
+    # --- one UD QP per node, Q_Key from a per-node stream
+    node_partition: dict[int, int] = {}
+    for index, members in sm.partitions.items():
+        for lid in members:
+            node_partition[lid] = index
+    qps: dict[int, QueuePair] = {}
+    for lid in lids:
+        index = node_partition[lid]
+        qkey = QKey(streams.get("qkey", lid).randrange(1, 2**31))
+        qp = QueuePair(
+            qpn=QPN(0x100 + lid),
+            service=ServiceType.UNRELIABLE_DATAGRAM,
+            pkey=pkeys[index],
+            qkey=qkey,
+        )
+        fabric.hca(lid).add_qp(qp)
+        qps[lid] = qp
+
+    # --- key management and authentication
+    key_manager = None
+    if config.keymgmt is not KeyMgmtMode.NONE:
+        directory = NodeDirectory.for_nodes(
+            lids, streams.get("rsa"), bits=config.rsa_bits
+        )
+        if config.keymgmt is KeyMgmtMode.PARTITION:
+            key_manager = PartitionLevelKeyManager(directory, streams.get("pkeys"))
+            for index, members in sm.partitions.items():
+                key_manager.create_partition_key(index, members)
+        else:
+            rtt = (
+                (lambda a, b: estimate_rtt_ps(fabric, a, b))
+                if config.qp_key_exchange_rtt
+                else (lambda a, b: 0)
+            )
+            key_manager = QPLevelKeyManager(directory, streams.get("qpkeys"), rtt)
+
+    if config.auth is AuthMode.ICRC:
+        auth = IcrcAuthService()
+    else:
+        auth = MacAuthService(
+            auth_function_for(config.auth),
+            key_manager,
+            mac_stage_delay_ns=config.mac_stage_delay_ns,
+        )
+    for hca in fabric.hcas.values():
+        hca.auth = auth
+        hca.replay_protection = config.replay_protection
+        hca.record_attack_packets = config.count_attack_in_metrics
+
+    # --- enforcement
+    install_enforcement(fabric, config.enforcement)
+
+    # --- attackers: random compromised nodes
+    attackers: list[int] = []
+    if config.num_attackers:
+        attackers = streams.get("attackers").sample(lids, config.num_attackers)
+    windows = make_attack_windows(
+        config.sim_time_ps,
+        config.attack_duty_cycle if config.num_attackers else 0.0,
+        round(config.attack_window_us * PS_PER_US),
+        streams.get("windows"),
+    )
+
+    # --- legitimate traffic: same-partition peers, per Section 3.1
+    sources = []
+    byte_ps = config.byte_time_ps
+    for lid in lids:
+        if lid in attackers:
+            continue
+        index = node_partition[lid]
+        peer_lids = [m for m in sm.partitions[index] if m != lid and m not in attackers]
+        if not peer_lids:
+            continue
+        peers = [Peer(m, qps[m].qpn, qps[m].qkey) for m in sorted(peer_lids)]
+        hca = fabric.hca(lid)
+        if config.enable_best_effort:
+            src = BestEffortSource(
+                engine, hca, qps[lid], peers, pkeys[index],
+                config.best_effort_load, config.mtu_bytes, byte_ps,
+                streams.get("be", lid), config.sim_time_ps,
+            )
+            src.start()
+            sources.append(src)
+        if config.enable_realtime:
+            src = RealtimeSource(
+                engine, hca, qps[lid], peers, pkeys[index],
+                config.realtime_load, config.mtu_bytes, byte_ps,
+                streams.get("rt", lid), config.sim_time_ps,
+                backoff_queue=config.realtime_backoff_queue,
+            )
+            src.start()
+            sources.append(src)
+
+    flooders = []
+    valid_indices = sm.valid_pkey_indices()
+    for lid in attackers:
+        valid_pkey = pkeys[node_partition[lid]] if config.attack_valid_pkey else None
+        # A valid-P_Key flood (Section 7) only breaches the attacker's own
+        # partition — other nodes would reject the key anyway.
+        targets = (
+            sorted(sm.partitions[node_partition[lid]] - {lid})
+            if config.attack_valid_pkey
+            else [l for l in lids]
+        )
+        flooder = RandomPKeyFlooder(
+            engine, fabric.hca(lid), qps[lid], targets,
+            valid_indices, config.mtu_bytes, byte_ps,
+            streams.get("attack", lid), windows,
+            classes=config.attacker_classes, valid_pkey=valid_pkey,
+            backlog=config.attacker_backlog,
+            dest_strategy=config.attack_dest_strategy,
+        )
+        flooder.start()
+        flooders.append(flooder)
+
+    return engine, fabric, sources, flooders, windows, key_manager
+
+
+def run_simulation(config: SimConfig) -> SimReport:
+    """Run one experiment end to end and return its report."""
+    t0 = time.perf_counter()
+    engine, fabric, sources, flooders, windows, key_manager = build_experiment(config)
+    engine.run(until=config.sim_time_ps)
+    wall = time.perf_counter() - t0
+
+    metrics = fabric.metrics
+    stats = {
+        name: ClassStats(
+            queuing_us=metrics.queuing_us(name),
+            network_us=metrics.network_us(name),
+            queuing_std_us=metrics.queuing_std_us(name),
+            network_std_us=metrics.network_std_us(name),
+            count=metrics._queuing[name].count,
+        )
+        for name in metrics.classes()
+    }
+    switch_filtered = sum(sw.filtered_drops for sw in fabric.all_switches())
+    switch_lookups = 0
+    sif_act = sif_deact = 0
+    for sw in fabric.all_switches():
+        for filt in sw.filters:
+            if filt is None:
+                continue
+            switch_lookups += getattr(filt, "lookups", 0)
+            sif_act += getattr(filt, "activations", 0)
+            sif_deact += getattr(filt, "deactivations", 0)
+    sm = fabric.sm
+    return SimReport(
+        config=config,
+        stats=stats,
+        drops=dict(metrics.dropped),
+        delivered=metrics.delivered,
+        attack_windows=windows,
+        switch_filtered=switch_filtered,
+        switch_lookups=switch_lookups,
+        sif_activations=sif_act,
+        sif_deactivations=sif_deact,
+        traps_received=sm.traps_received if sm else 0,
+        traps_processed=sm.traps_processed if sm else 0,
+        key_exchanges=getattr(key_manager, "exchanges", 0),
+        events_processed=engine.events_processed,
+        wall_seconds=wall,
+        metrics=metrics if config.keep_samples else None,
+    )

@@ -1,0 +1,104 @@
+"""Parameter-sweep driver — the machinery behind multi-bar experiments.
+
+A :class:`Sweep` takes a base :class:`~repro.sim.config.SimConfig`, a grid
+of overrides, and runs one simulation per grid point (optionally across
+several seeds, averaging).  The figure modules use hand-rolled loops for
+clarity; this utility serves downstream users building their own studies
+(ablations, sensitivity analyses) on the same fabric.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import SimReport, run_simulation
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's outcome."""
+
+    overrides: dict[str, Any]
+    seeds: tuple[int, ...]
+    reports: tuple[SimReport, ...]
+
+    def mean(self, metric: Callable[[SimReport], float]) -> float:
+        return sum(metric(r) for r in self.reports) / len(self.reports)
+
+
+@dataclass
+class Sweep:
+    """Cartesian-product experiment grid.
+
+    >>> sweep = Sweep(
+    ...     base=SimConfig(sim_time_us=200.0),
+    ...     grid={"best_effort_load": [0.2, 0.4], "num_attackers": [0, 1]},
+    ... )
+    >>> len(sweep.points())
+    4
+    """
+
+    base: SimConfig
+    grid: dict[str, list[Any]]
+    seeds: tuple[int, ...] = (1,)
+    _results: list[SweepPoint] = field(default_factory=list, repr=False)
+
+    def points(self) -> list[dict[str, Any]]:
+        """The grid as a list of override dicts (deterministic order)."""
+        keys = sorted(self.grid)
+        combos = itertools.product(*(self.grid[k] for k in keys))
+        return [dict(zip(keys, combo)) for combo in combos]
+
+    def run(self, progress: Callable[[str], None] | None = None) -> list[SweepPoint]:
+        """Execute the whole grid; returns (and caches) the results."""
+        self._results = []
+        for overrides in self.points():
+            reports = []
+            for seed in self.seeds:
+                cfg = self.base.replace(seed=seed, **overrides)
+                reports.append(run_simulation(cfg))
+            point = SweepPoint(
+                overrides=overrides, seeds=self.seeds, reports=tuple(reports)
+            )
+            self._results.append(point)
+            if progress is not None:
+                progress(f"done {overrides}")
+        return self._results
+
+    @property
+    def results(self) -> list[SweepPoint]:
+        if not self._results:
+            raise RuntimeError("call run() first")
+        return self._results
+
+    def table(
+        self,
+        metrics: dict[str, Callable[[SimReport], float]],
+    ) -> list[dict[str, Any]]:
+        """Flatten results to rows: one per grid point, overrides + the
+        requested aggregated metrics."""
+        rows = []
+        for point in self.results:
+            row: dict[str, Any] = dict(point.overrides)
+            for name, fn in metrics.items():
+                row[name] = point.mean(fn)
+            rows.append(row)
+        return rows
+
+
+def queuing_us(traffic_class: str) -> Callable[[SimReport], float]:
+    """Metric factory: mean queuing time of *traffic_class* in µs."""
+    return lambda r: r.cls(traffic_class).queuing_us
+
+
+def network_us(traffic_class: str) -> Callable[[SimReport], float]:
+    """Metric factory: mean network latency of *traffic_class* in µs."""
+    return lambda r: r.cls(traffic_class).network_us
+
+
+def total_us(traffic_class: str) -> Callable[[SimReport], float]:
+    """Metric factory: queuing + network in µs (the Figure 5 bar)."""
+    return lambda r: r.cls(traffic_class).total_us

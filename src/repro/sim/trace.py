@@ -1,0 +1,125 @@
+"""Packet-lifecycle tracing — optional observability for debugging runs.
+
+A :class:`Tracer` subscribes to lifecycle events (created, injected, hop,
+filtered, delivered, dropped) and records them with timestamps.  The fabric
+itself stays trace-free; tests and tools wrap the objects they care about
+with :func:`attach_hca_tracer` / :func:`attach_switch_tracer`, which
+decorate methods non-invasively.
+
+Useful for answering "where did packet 1234 die?" and for the examples'
+step-by-step narratives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import PS_PER_US
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time_ps: int
+    kind: str  #: created | injected | switch_rx | filtered | delivered | dropped
+    where: str
+    packet_id: int
+    detail: str = ""
+
+    @property
+    def time_us(self) -> float:
+        return self.time_ps / PS_PER_US
+
+
+@dataclass
+class Tracer:
+    """Accumulates :class:`TraceEvent` records."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    #: restrict recording to these packet ids (None = everything).
+    watch: set[int] | None = None
+
+    def record(self, time_ps: int, kind: str, where: str, packet_id: int, detail: str = "") -> None:
+        if self.watch is not None and packet_id not in self.watch:
+            return
+        self.events.append(TraceEvent(time_ps, kind, where, packet_id, detail))
+
+    def for_packet(self, packet_id: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.packet_id == packet_id]
+
+    def kinds(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def timeline(self, packet_id: int) -> str:
+        lines = [
+            f"{e.time_us:10.3f} us  {e.kind:<10} {e.where:<16} {e.detail}"
+            for e in self.for_packet(packet_id)
+        ]
+        return "\n".join(lines)
+
+
+def attach_hca_tracer(hca, tracer: Tracer) -> None:
+    """Wrap an HCA's submit/inject/deliver path with trace records."""
+    original_submit = hca.submit
+    original_check = hca._check_and_deliver
+
+    def traced_submit(packet):
+        tracer.record(hca.engine.now, "created", f"hca{int(hca.lid)}", packet.packet_id)
+        original_submit(packet)
+
+    def traced_check(packet):
+        before = hca.delivered
+        original_check(packet)
+        if hca.delivered > before:
+            tracer.record(
+                hca.engine.now, "delivered", f"hca{int(hca.lid)}", packet.packet_id
+            )
+        else:
+            tracer.record(
+                hca.engine.now, "dropped", f"hca{int(hca.lid)}", packet.packet_id
+            )
+
+    hca.submit = traced_submit
+    hca._check_and_deliver = traced_check
+
+    original_try_inject = hca._try_inject
+
+    def traced_try_inject():
+        # record injection times by diffing queue heads before/after
+        pending = {id(q): list(q) for q in hca.send_queues}
+        original_try_inject()
+        for q in hca.send_queues:
+            before_list = pending[id(q)]
+            gone = len(before_list) - len(q)
+            for pkt in before_list[:gone]:
+                tracer.record(
+                    hca.engine.now, "injected", f"hca{int(hca.lid)}", pkt.packet_id
+                )
+
+    hca._try_inject = traced_try_inject
+
+
+def attach_switch_tracer(switch, tracer: Tracer) -> None:
+    """Wrap a switch's receive/drop path with trace records."""
+    original_receive = switch.receive
+    original_pipeline = switch._pipeline_done
+
+    def traced_receive(packet, in_port):
+        tracer.record(
+            switch.engine.now, "switch_rx", switch.name, packet.packet_id,
+            f"port {in_port}",
+        )
+        original_receive(packet, in_port)
+
+    def traced_pipeline(packet, in_port, accept):
+        if not accept:
+            tracer.record(
+                switch.engine.now, "filtered", switch.name, packet.packet_id,
+                f"port {in_port}",
+            )
+        original_pipeline(packet, in_port, accept)
+
+    switch.receive = traced_receive
+    switch._pipeline_done = traced_pipeline

@@ -1,0 +1,242 @@
+"""Workload generators — the paper's two traffic classes (Section 3.1).
+
+* **Realtime**: "a continuous stream of packets with a higher priority than
+  best-effort traffic … does not send any packet when the current network
+  status cannot support the application's bandwidth requirement, and it
+  also does not send faster than its predefined sending rate."  Modelled as
+  a fixed-interval source that skips a slot whenever its HCA send queue is
+  already deeper than a backoff threshold.
+
+* **Best-effort**: "generated with a given injection rate and generally
+  with Poisson distribution, which is similar to scientific workloads …
+  does not take current network conditions into considerations."  Modelled
+  as exponential inter-arrivals into an unbounded send queue — which is why
+  its queuing time explodes under DoS (Figure 1b).
+
+Load is expressed as a fraction of the 2.5 Gbps link bandwidth, measured in
+on-the-wire bytes (MTU payload plus LRH/BTH/DETH/CRC overhead).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.iba.hca import HCA
+from repro.iba.keys import PKey, QKey
+from repro.iba.packet import (
+    BaseTransportHeader,
+    DataPacket,
+    DatagramExtendedHeader,
+    LOCAL_UD_OVERHEAD,
+    LocalRouteHeader,
+)
+from repro.iba.qp import QueuePair
+from repro.iba.types import LID, QPN, ServiceType, TrafficClass
+from repro.sim.engine import Engine
+from repro.sim.rng import exponential_ps
+
+
+def make_ud_packet(
+    src: HCA,
+    src_qp: QueuePair,
+    dst_lid: LID,
+    dst_qpn: QPN,
+    dst_qkey: QKey,
+    pkey: PKey,
+    traffic_class: TrafficClass,
+    mtu_bytes: int,
+    payload: bytes | None = None,
+    is_attack: bool = False,
+) -> DataPacket:
+    """Build a UD data packet with real headers and a deterministic payload.
+
+    ``wire_length`` is the full MTU frame; the byte payload carried for
+    CRC/MAC purposes is compact (the fabric times by wire_length).
+    """
+    wire_length = mtu_bytes + LOCAL_UD_OVERHEAD
+    psn = src_qp.next_psn()
+    if payload is None:
+        payload = (
+            int(src.lid).to_bytes(2, "big")
+            + int(dst_lid).to_bytes(2, "big")
+            + psn.to_bytes(3, "big")
+            + b"\x5a" * 25
+        )
+    lrh = LocalRouteHeader(
+        vl=traffic_class.vl,
+        service_level=traffic_class.vl,
+        dlid=dst_lid,
+        slid=src.lid,
+        packet_length=(wire_length + 3) // 4,
+    )
+    bth = BaseTransportHeader(opcode=0x64, pkey=pkey, dest_qp=dst_qpn, psn=psn)
+    deth = DatagramExtendedHeader(qkey=dst_qkey, src_qp=src_qp.qpn)
+    return DataPacket(
+        lrh=lrh,
+        bth=bth,
+        deth=deth,
+        payload=payload,
+        wire_length=wire_length,
+        service=ServiceType.UNRELIABLE_DATAGRAM,
+        traffic_class=traffic_class,
+        is_attack=is_attack,
+    )
+
+
+def make_rc_packet(
+    src: HCA,
+    src_qp: QueuePair,
+    mtu_bytes: int,
+    payload: bytes | None = None,
+    traffic_class: TrafficClass = TrafficClass.BEST_EFFORT,
+) -> DataPacket:
+    """Build a connected-service packet on an established RC QP.
+
+    RC packets carry no DETH ("packets only carry a P_Key; no Q_Key is
+    included here" — Section 4.3); the destination comes from the QP's
+    connection state.
+    """
+    from repro.iba.packet import LOCAL_RC_OVERHEAD
+    from repro.iba.types import ServiceType
+
+    if src_qp.connected_to is None:
+        raise ValueError("RC QP is not connected")
+    dst_lid, dst_qpn = src_qp.connected_to
+    wire_length = mtu_bytes + LOCAL_RC_OVERHEAD
+    psn = src_qp.next_psn()
+    if payload is None:
+        payload = b"\xa5" * 32
+    lrh = LocalRouteHeader(
+        vl=traffic_class.vl,
+        service_level=traffic_class.vl,
+        dlid=dst_lid,
+        slid=src.lid,
+        packet_length=(wire_length + 3) // 4,
+    )
+    bth = BaseTransportHeader(opcode=0x04, pkey=src_qp.pkey, dest_qp=dst_qpn, psn=psn)
+    return DataPacket(
+        lrh=lrh,
+        bth=bth,
+        deth=None,
+        payload=payload,
+        wire_length=wire_length,
+        service=ServiceType.RELIABLE_CONNECTION,
+        traffic_class=traffic_class,
+    )
+
+
+class Peer:
+    """A destination a source may send to: (lid, QPN, Q_Key)."""
+
+    __slots__ = ("lid", "qpn", "qkey")
+
+    def __init__(self, lid: LID, qpn: QPN, qkey: QKey) -> None:
+        self.lid = lid
+        self.qpn = qpn
+        self.qkey = qkey
+
+
+class BestEffortSource:
+    """Poisson open-loop source sending to same-partition peers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        hca: HCA,
+        qp: QueuePair,
+        peers: list[Peer],
+        pkey: PKey,
+        load: float,
+        mtu_bytes: int,
+        byte_time_ps: int,
+        rng: random.Random,
+        stop_at_ps: int,
+    ) -> None:
+        if not peers:
+            raise ValueError("best-effort source needs at least one peer")
+        if not 0 < load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+        self.engine = engine
+        self.hca = hca
+        self.qp = qp
+        self.peers = peers
+        self.pkey = pkey
+        self.mtu_bytes = mtu_bytes
+        self.rng = rng
+        self.stop_at_ps = stop_at_ps
+        wire = mtu_bytes + LOCAL_UD_OVERHEAD
+        self.mean_gap_ps = wire * byte_time_ps / load
+        self.generated = 0
+
+    def start(self) -> None:
+        self.engine.schedule(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
+
+    def _arrival(self) -> None:
+        if self.engine.now >= self.stop_at_ps:
+            return
+        peer = self.rng.choice(self.peers)
+        pkt = make_ud_packet(
+            self.hca, self.qp, peer.lid, peer.qpn, peer.qkey,
+            self.pkey, TrafficClass.BEST_EFFORT, self.mtu_bytes,
+        )
+        self.hca.submit(pkt)
+        self.generated += 1
+        self.engine.schedule(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
+
+
+class RealtimeSource:
+    """Rate-limited, self-throttling stream source."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        hca: HCA,
+        qp: QueuePair,
+        peers: list[Peer],
+        pkey: PKey,
+        load: float,
+        mtu_bytes: int,
+        byte_time_ps: int,
+        rng: random.Random,
+        stop_at_ps: int,
+        backoff_queue: int = 8,
+    ) -> None:
+        if not peers:
+            raise ValueError("realtime source needs at least one peer")
+        if not 0 < load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+        self.engine = engine
+        self.hca = hca
+        self.qp = qp
+        self.peers = peers
+        self.pkey = pkey
+        self.mtu_bytes = mtu_bytes
+        self.rng = rng
+        self.stop_at_ps = stop_at_ps
+        self.backoff_queue = backoff_queue
+        wire = mtu_bytes + LOCAL_UD_OVERHEAD
+        self.interval_ps = round(wire * byte_time_ps / load)
+        self.generated = 0
+        self.throttled = 0
+
+    def start(self) -> None:
+        # Random phase so the fabric's realtime streams are not in lockstep.
+        phase = self.rng.randrange(self.interval_ps)
+        self.engine.schedule(phase, self._tick)
+
+    def _tick(self) -> None:
+        if self.engine.now >= self.stop_at_ps:
+            return
+        if self.hca.queue_depth(TrafficClass.REALTIME) >= self.backoff_queue:
+            # Network can't support the stream right now: skip this slot
+            # rather than queueing deeper (the paper's realtime semantics).
+            self.throttled += 1
+        else:
+            peer = self.rng.choice(self.peers)
+            pkt = make_ud_packet(
+                self.hca, self.qp, peer.lid, peer.qpn, peer.qkey,
+                self.pkey, TrafficClass.REALTIME, self.mtu_bytes,
+            )
+            self.hca.submit(pkt)
+            self.generated += 1
+        self.engine.schedule(self.interval_ps, self._tick)

@@ -1,0 +1,58 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import Series, grouped_bars, hbar_chart, two_line_series
+
+
+class TestHbar:
+    def test_basic_render(self):
+        out = hbar_chart([("none", 10.0), ("sif", 5.0)], width=20, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "10.00 us" in lines[1]
+        assert lines[1].count("#") == 20  # max value fills the width
+        assert lines[2].count("#") == 10
+
+    def test_empty(self):
+        assert hbar_chart([], title="empty") == "empty"
+
+    def test_zero_values_no_crash(self):
+        out = hbar_chart([("a", 0.0)])
+        assert "0.00" in out
+
+
+class TestGroupedBars:
+    def test_layout(self):
+        out = grouped_bars(
+            ["40%", "70%"],
+            [Series("if", [1.0, 2.0]), Series("sif", [0.5, 3.0])],
+        )
+        assert out.count("[40%]") == 1
+        assert out.count("if") >= 2
+        assert "3.00" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bars(["a"], [Series("x", [1.0, 2.0])])
+
+
+class TestTwoLineSeries:
+    def test_renders_both_series(self):
+        out = two_line_series(
+            [0, 1, 2],
+            Series("queuing", [1.0, 5.0, 10.0]),
+            Series("latency", [2.0, 2.5, 3.0]),
+        )
+        assert "Q" in out and "N" in out
+        assert "peak = 10.0" in out
+
+    def test_overlap_marker(self):
+        out = two_line_series(
+            [0], Series("a", [5.0]), Series("b", [5.0]),
+        )
+        assert "*" in out
+
+    def test_length_check(self):
+        with pytest.raises(ValueError):
+            two_line_series([0, 1], Series("a", [1.0]), Series("b", [1.0, 2.0]))

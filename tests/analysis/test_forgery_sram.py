@@ -1,0 +1,114 @@
+"""Forgery-probability models and the CACTI-style SRAM argument."""
+
+import math
+
+import pytest
+
+from repro.analysis.forgery import (
+    attempts_for_confidence,
+    crc_is_forgeable,
+    forgery_probability,
+    partial_digest_forgery,
+    truncated_forgery_probability,
+)
+from repro.analysis.sram import (
+    lookup_cycles,
+    pkey_table_lookup_is_one_cycle,
+    sram_access_time_ns,
+)
+
+
+class TestForgeryProbability:
+    def test_table4_values(self):
+        assert forgery_probability("crc") == 1.0
+        assert forgery_probability("hmac-sha1") == 2.0**-32
+        assert forgery_probability("hmac-md5") == 2.0**-32
+        assert forgery_probability("umac") == 2.0**-30
+        assert forgery_probability("UMAC-2/4") == 2.0**-30
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            forgery_probability("rot13")
+
+    def test_crc_constructive_forgery(self):
+        assert crc_is_forgeable()
+
+
+class TestTruncation:
+    def test_proportional_strength(self):
+        """'We assume that the security strength of two algorithms is
+        proportional to their authentication tag sizes.'"""
+        assert truncated_forgery_probability(160, 32) == 2.0**-32
+        assert truncated_forgery_probability(128, 32) == 2.0**-32
+        assert truncated_forgery_probability(160, 160) == 2.0**-160
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            truncated_forgery_probability(32, 64)
+        with pytest.raises(ValueError):
+            truncated_forgery_probability(32, 0)
+
+    def test_attempts_for_confidence(self):
+        n = attempts_for_confidence(32, 0.5)
+        assert n == pytest.approx(math.log(0.5) / math.log(1 - 2.0**-32))
+        assert n > 2.9e9  # billions of online attempts for a coin-flip chance
+
+    def test_attempts_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            attempts_for_confidence(32, 1.0)
+
+
+class TestPartialDigest:
+    """Section 7's strength/speed trade-off."""
+
+    def test_full_coverage_equals_tag_bound(self):
+        assert partial_digest_forgery(1.0) == 2.0**-32
+
+    def test_no_coverage_is_crc_grade(self):
+        assert partial_digest_forgery(0.0) == 1.0
+
+    def test_between_for_partial(self):
+        p = partial_digest_forgery(0.9)
+        assert 2.0**-32 < p < 1.0
+        assert p == pytest.approx(0.1, rel=0.01)
+
+    def test_adaptive_adversary_wins_any_gap(self):
+        assert partial_digest_forgery(0.99, tamper_target_uniform=False) == 1.0
+        assert partial_digest_forgery(1.0, tamper_target_uniform=False) == 2.0**-32
+
+    def test_monotone_in_coverage(self):
+        probs = [partial_digest_forgery(c) for c in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            partial_digest_forgery(1.5)
+
+
+class TestSram:
+    def test_anchor_point(self):
+        """The paper's quoted CACTI figure: 1024 KB within 5 ns."""
+        assert sram_access_time_ns(1024.0) == pytest.approx(5.0)
+
+    def test_monotone_in_capacity(self):
+        assert sram_access_time_ns(64.0) < sram_access_time_ns(1024.0)
+
+    def test_floor(self):
+        assert sram_access_time_ns(0.001) == pytest.approx(0.3)
+
+    def test_lookup_cycles_minimum_one(self):
+        assert lookup_cycles(0.001, 10.0) == 1
+
+    def test_64kb_table_one_cycle_at_200mhz(self):
+        """Section 6's conservative claim, end to end."""
+        assert pkey_table_lookup_is_one_cycle(32768, 200.0)
+
+    def test_fast_clock_needs_more_cycles(self):
+        # at 5 GHz (0.2ns cycle) even a small table is multi-cycle
+        assert lookup_cycles(64.0, 5000.0) > 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sram_access_time_ns(0)
+        with pytest.raises(ValueError):
+            lookup_cycles(1.0, 0)

@@ -1,0 +1,96 @@
+"""Table 4 arithmetic: normalization, the published numbers, line-rate
+argument, and the pure-Python implementation ordering."""
+
+import pytest
+
+from repro.analysis.performance import (
+    TABLE4,
+    TABLE4_CLOCK_MHZ,
+    gbps_at_clock,
+    measure_implementations,
+    normalize_cycles_per_byte,
+    table4_rows,
+    umac_line_rate_check,
+)
+
+
+class TestNormalizationArithmetic:
+    def test_gbps_at_clock(self):
+        # 1 cycle/byte at 1000 MHz = 1 GB/s = 8 Gbps
+        assert gbps_at_clock(1.0, 1000.0) == pytest.approx(8.0)
+
+    def test_inverse(self):
+        c = normalize_cycles_per_byte(gbps_at_clock(5.3, 350.0), 350.0)
+        assert c == pytest.approx(5.3)
+
+    def test_crc_source_derivation(self):
+        """[33]: 10 Gbps at 312 MHz -> ~0.25 cycles/byte."""
+        assert normalize_cycles_per_byte(10.0, 312.0) == pytest.approx(0.25, rel=0.01)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gbps_at_clock(0.0, 350.0)
+        with pytest.raises(ValueError):
+            normalize_cycles_per_byte(-1.0, 350.0)
+
+
+class TestPublishedTable:
+    """The exact Table 4 rows."""
+
+    def test_row_names(self):
+        assert [r.algorithm for r in TABLE4] == ["CRC", "HMAC-SHA1", "HMAC-MD5", "UMAC-2/4"]
+
+    def test_cycles_per_byte(self):
+        assert [r.cycles_per_byte for r in TABLE4] == [0.25, 12.6, 5.3, 0.7]
+
+    @pytest.mark.parametrize(
+        "index,expected",
+        [(0, 11.2), (1, 0.22), (2, 0.53), (3, 4.00)],
+    )
+    def test_gbps_column_matches_paper(self, index, expected):
+        assert TABLE4[index].gbps == pytest.approx(expected, abs=0.005)
+
+    def test_forgery_column(self):
+        assert TABLE4[0].forgery_probability == 1.0
+        assert TABLE4[1].forgery_probability == 2.0**-32
+        assert TABLE4[2].forgery_probability == 2.0**-32
+        assert TABLE4[3].forgery_probability == 2.0**-30
+
+    def test_normalized_to_350mhz(self):
+        assert TABLE4_CLOCK_MHZ == 350.0
+
+    def test_rows_export(self):
+        rows = table4_rows()
+        assert rows[0]["algorithm"] == "CRC"
+        assert rows[0]["gbps"] == 11.2
+        assert rows[3]["gbps"] == 4.0
+
+    def test_bytes_per_cycle(self):
+        # Section 6: "UMAC can generate 1.4 bytes per cycle"
+        assert TABLE4[3].bytes_per_cycle() == pytest.approx(1.43, abs=0.01)
+
+
+class TestLineRateArgument:
+    def test_umac_at_200mhz_near_line_rate(self):
+        achievable, ok = umac_line_rate_check(200.0, 2.5)
+        assert achievable == pytest.approx(2.29, abs=0.01)
+        assert ok  # "similar speed" with one pipeline stage
+
+    def test_umac_at_100mhz_misses(self):
+        _, ok = umac_line_rate_check(100.0, 2.5)
+        assert not ok
+
+    def test_hmac_sha1_cannot_keep_up_even_at_1ghz(self):
+        sha1 = TABLE4[1]
+        assert sha1.gbps_at(1000.0) < 2.5
+
+
+class TestImplementationOrdering:
+    def test_fast_families_beat_hmacs(self):
+        """Our pure-Python measurements must reproduce Table 4's grouping:
+        {CRC, UMAC} are line-rate-class, {HMAC-MD5, HMAC-SHA1} are not,
+        and MD5 beats SHA1."""
+        r = measure_implementations(message_size=2048, repeats=5)
+        assert r["CRC"] > r["HMAC-MD5"]
+        assert r["UMAC"] > r["HMAC-MD5"]
+        assert r["HMAC-MD5"] > r["HMAC-SHA1"]

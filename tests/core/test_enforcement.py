@@ -1,0 +1,184 @@
+"""DPT/IF/SIF port filters: accept/drop decisions, lookup costs, the SIF
+state machine (trap → enable → age out → whitelist flip), and fabric wiring."""
+
+import pytest
+
+from repro.core.enforcement import (
+    DPTPortFilter,
+    IngressPortFilter,
+    SIFPortFilter,
+    install_enforcement,
+)
+from repro.iba.keys import PKey
+from repro.iba.switch import HCA_PORT
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.engine import Engine, PS_PER_US
+
+from tests.conftest import make_packet
+
+VALID = {1, 2, 3}
+
+
+class TestDPT:
+    def test_valid_accepted_with_lookup_cost(self):
+        f = DPTPortFilter(VALID, lookup_ns=50.0)
+        ok, cost = f.process(make_packet(pkey=PKey(0x8001)), 0)
+        assert ok and cost == 50.0
+        assert f.lookups == 1
+
+    def test_invalid_dropped_still_costs(self):
+        f = DPTPortFilter(VALID, lookup_ns=50.0)
+        ok, cost = f.process(make_packet(pkey=PKey(0x8777)), 0)
+        assert not ok and cost == 50.0
+        assert f.drops == 1
+
+    def test_membership_bit_ignored_for_filtering(self):
+        f = DPTPortFilter(VALID, lookup_ns=1.0)
+        ok, _ = f.process(make_packet(pkey=PKey(0x0001)), 0)  # limited member
+        assert ok
+
+    def test_management_packets_pass(self):
+        f = DPTPortFilter(VALID, lookup_ns=1.0)
+        ok, _ = f.process(make_packet(pkey=PKey(0xFFFF)), 0)
+        assert ok
+
+
+class TestIF:
+    def test_node_scoped_table(self):
+        f = IngressPortFilter({2}, lookup_ns=10.0)
+        assert f.process(make_packet(pkey=PKey(0x8002)), 0)[0]
+        assert not f.process(make_packet(pkey=PKey(0x8001)), 0)[0]
+
+    def test_management_passes(self):
+        f = IngressPortFilter(set(), lookup_ns=10.0)
+        assert f.process(make_packet(pkey=PKey(0xFFFF)), 0)[0]
+
+
+class TestSIFStateMachine:
+    def make(self, engine, partitions={1}, timeout_us=100.0):
+        return SIFPortFilter(engine, partitions, lookup_ns=25.0, idle_timeout_us=timeout_us)
+
+    def test_idle_costs_nothing(self, engine):
+        f = self.make(engine)
+        ok, cost = f.process(make_packet(pkey=PKey(0x8999)), 0)
+        assert ok and cost == 0.0  # disabled: attack passes, but free
+        assert f.lookups == 0
+
+    def test_registration_enables(self, engine):
+        f = self.make(engine, partitions={1, 5})
+        f.register_invalid(PKey(0x8999), engine.now)
+        assert f.enabled
+        assert f.activations == 1
+        ok, cost = f.process(make_packet(pkey=PKey(0x8999)), engine.now)
+        assert not ok and cost == 25.0
+        assert f.violation_counter == 1
+
+    def test_blacklist_mode_lets_valid_through(self, engine):
+        f = self.make(engine, partitions={1, 5})
+        f.register_invalid(PKey(0x8999), engine.now)
+        assert not f.whitelist_mode
+        ok, _ = f.process(make_packet(pkey=PKey(0x8001)), engine.now)
+        assert ok
+
+    def test_blacklist_misses_unregistered_invalid(self, engine):
+        """Until the table flips to whitelist, an unregistered random P_Key
+        still leaks — the window the paper's Figure 5 discussion is about."""
+        f = self.make(engine, partitions={1, 5})
+        f.register_invalid(PKey(0x8999), engine.now)
+        ok, _ = f.process(make_packet(pkey=PKey(0x8888)), engine.now)
+        assert ok  # leak: not registered yet, table still below p entries
+
+    def test_whitelist_flip_at_table_parity(self, engine):
+        """'The Invalid_P_Key_Table should be used as long as the number of
+        entries is smaller than the partition table.'"""
+        f = self.make(engine, partitions={1})
+        f.register_invalid(PKey(0x8999), engine.now)
+        assert f.whitelist_mode  # 1 invalid entry >= 1 partition entry
+        assert not f.process(make_packet(pkey=PKey(0x8888)), engine.now)[0]
+        assert f.process(make_packet(pkey=PKey(0x8001)), engine.now)[0]
+
+    def test_management_always_passes(self, engine):
+        f = self.make(engine, partitions={1})
+        f.register_invalid(PKey(0x8999), engine.now)
+        assert f.process(make_packet(pkey=PKey(0xFFFF)), engine.now)[0]
+
+    def test_idle_timeout_disables_and_clears(self, engine):
+        f = self.make(engine, timeout_us=50.0)
+        f.register_invalid(PKey(0x8999), engine.now)
+        assert f.enabled
+        engine.run(until=round(200 * PS_PER_US))
+        assert not f.enabled
+        assert f.invalid_table == set()
+        assert f.deactivations == 1
+
+    def test_violations_keep_it_alive(self, engine):
+        f = self.make(engine, timeout_us=50.0)
+        f.register_invalid(PKey(0x8999), engine.now)
+
+        def attack_tick():
+            f.process(make_packet(pkey=PKey(0x8999)), engine.now)
+            if engine.now < 300 * PS_PER_US:
+                engine.schedule(round(20 * PS_PER_US), attack_tick)
+
+        attack_tick()
+        engine.run(until=round(250 * PS_PER_US))
+        assert f.enabled  # counter kept increasing
+
+    def test_reactivation_after_timeout(self, engine):
+        f = self.make(engine, timeout_us=50.0)
+        f.register_invalid(PKey(0x8999), engine.now)
+        engine.run(until=round(200 * PS_PER_US))
+        assert not f.enabled
+        f.register_invalid(PKey(0x8777), engine.now)
+        assert f.enabled
+        assert f.activations == 2
+
+
+class TestInstallEnforcement:
+    def _fabric(self, mode):
+        from repro.sim.runner import build_experiment
+
+        cfg = SimConfig(
+            mesh_width=2, mesh_height=2, num_partitions=2,
+            enable_realtime=False, enable_best_effort=False,
+            enforcement=mode, sim_time_us=100.0, warmup_us=0.0, seed=1,
+        )
+        engine, fabric, *_ = build_experiment(cfg)
+        return fabric
+
+    def test_none_installs_nothing(self):
+        fabric = self._fabric(EnforcementMode.NONE)
+        for sw in fabric.all_switches():
+            assert all(f is None for f in sw.filters)
+
+    def test_dpt_on_every_port(self):
+        fabric = self._fabric(EnforcementMode.DPT)
+        for sw in fabric.all_switches():
+            for port in range(sw.num_ports):
+                assert isinstance(sw.filters[port], DPTPortFilter)
+
+    def test_if_only_on_hca_ports(self):
+        fabric = self._fabric(EnforcementMode.IF)
+        for sw in fabric.all_switches():
+            assert isinstance(sw.filters[HCA_PORT], IngressPortFilter)
+            assert all(f is None for f in sw.filters[HCA_PORT + 1 :])
+
+    def test_sif_wires_sm_hooks(self):
+        fabric = self._fabric(EnforcementMode.SIF)
+        assert set(fabric.sm.registration_hooks) == set(fabric.lids)
+        for lid in fabric.lids:
+            sw = fabric.ingress_switch(lid)
+            assert isinstance(sw.filters[HCA_PORT], SIFPortFilter)
+
+    def test_if_tables_are_node_scoped(self):
+        fabric = self._fabric(EnforcementMode.IF)
+        sm = fabric.sm
+        for lid in fabric.lids:
+            filt = fabric.ingress_switch(lid).filters[HCA_PORT]
+            assert filt.table == sm.partitions_of(lid)
+
+    def test_dpt_tables_are_subnet_wide(self):
+        fabric = self._fabric(EnforcementMode.DPT)
+        sm = fabric.sm
+        filt = fabric.all_switches()[0].filters[0]
+        assert filt.table == sm.valid_pkey_indices()

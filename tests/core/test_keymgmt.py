@@ -1,0 +1,124 @@
+"""Key management: partition-level distribution (Figure 2), QP-level
+exchange and (Q_Key, source QP) indexing (Figure 3), RTT accounting."""
+
+import random
+
+import pytest
+
+from repro.core.keymgmt import (
+    NodeDirectory,
+    PartitionLevelKeyManager,
+    QPLevelKeyManager,
+)
+from repro.iba.keys import PKey
+
+from tests.conftest import make_packet
+
+
+class StubHCA:
+    def __init__(self, lid):
+        self.lid = lid
+
+
+@pytest.fixture
+def directory():
+    return NodeDirectory.for_nodes([1, 2, 3], random.Random(0), bits=256)
+
+
+class TestNodeDirectory:
+    def test_keypair_per_node(self, directory):
+        assert set(directory.keypairs) == {1, 2, 3}
+
+    def test_public_private_match(self, directory):
+        ct = directory.public(1).encrypt(b"secret16bytes..!", random.Random(1))
+        assert directory.private(1).decrypt(ct) == b"secret16bytes..!"
+
+    def test_keys_differ_across_nodes(self, directory):
+        assert directory.public(1).n != directory.public(2).n
+
+
+class TestPartitionLevel:
+    def test_figure2_tables(self, directory):
+        """Node A in partitions I and II, nodes B/C in one each — each node
+        table maps P_Key -> secret exactly as Figure 2 draws it."""
+        mgr = PartitionLevelKeyManager(directory, random.Random(1))
+        sk1 = mgr.create_partition_key(1, {1, 2})  # partition I: A, B
+        sk2 = mgr.create_partition_key(2, {1, 3})  # partition II: A, C
+        assert mgr.node_tables[1] == {1: sk1, 2: sk2}
+        assert mgr.node_tables[2] == {1: sk1}
+        assert mgr.node_tables[3] == {2: sk2}
+
+    def test_secrets_distinct_per_partition(self, directory):
+        mgr = PartitionLevelKeyManager(directory, random.Random(1))
+        assert mgr.create_partition_key(1, {1}) != mgr.create_partition_key(2, {1})
+
+    def test_sender_key_lookup_by_pkey(self, directory):
+        mgr = PartitionLevelKeyManager(directory, random.Random(1))
+        sk = mgr.create_partition_key(1, {1, 2})
+        key, delay = mgr.sender_key(StubHCA(1), make_packet(pkey=PKey(0x8001)))
+        assert key == sk
+        assert delay == 0  # "Key distribution overhead is virtually zero"
+
+    def test_receiver_key_symmetric(self, directory):
+        mgr = PartitionLevelKeyManager(directory, random.Random(1))
+        sk = mgr.create_partition_key(1, {1, 2})
+        assert mgr.receiver_key(StubHCA(2), make_packet(pkey=PKey(0x8001))) == sk
+
+    def test_nonmember_gets_nothing(self, directory):
+        mgr = PartitionLevelKeyManager(directory, random.Random(1))
+        mgr.create_partition_key(1, {1, 2})
+        key, _ = mgr.sender_key(StubHCA(3), make_packet(pkey=PKey(0x8001)))
+        assert key is None
+        assert mgr.receiver_key(StubHCA(3), make_packet(pkey=PKey(0x8001))) is None
+
+    def test_distribution_count(self, directory):
+        mgr = PartitionLevelKeyManager(directory, random.Random(1))
+        mgr.create_partition_key(1, {1, 2, 3})
+        assert mgr.distributions == 3
+
+
+class TestQPLevel:
+    def packet(self, src_qp=0x101, dst=2, dest_qp=0x102):
+        return make_packet(src=1, dst=dst, src_qp=src_qp, dest_qp=dest_qp)
+
+    def test_first_contact_pays_rtt(self, directory):
+        mgr = QPLevelKeyManager(directory, random.Random(1), rtt_estimator=lambda a, b: 5000)
+        key, delay = mgr.sender_key(StubHCA(1), self.packet())
+        assert key is not None
+        assert delay == 5000
+        assert mgr.exchanges == 1
+
+    def test_subsequent_packets_free(self, directory):
+        mgr = QPLevelKeyManager(directory, random.Random(1), rtt_estimator=lambda a, b: 5000)
+        first, _ = mgr.sender_key(StubHCA(1), self.packet())
+        again, delay = mgr.sender_key(StubHCA(1), self.packet())
+        assert again == first
+        assert delay == 0
+        assert mgr.exchanges == 1
+
+    def test_receiver_indexed_by_qkey_and_source_qp(self, directory):
+        """Figure 3: 'to index a secret key, both Q_Key and source QP are
+        necessary' — two source QPs talking to the same destination QP get
+        distinct secrets and distinct receiver entries."""
+        mgr = QPLevelKeyManager(directory, random.Random(1))
+        k_a, _ = mgr.sender_key(StubHCA(1), self.packet(src_qp=0x101))
+        k_b, _ = mgr.sender_key(StubHCA(1), self.packet(src_qp=0x999))
+        assert k_a != k_b
+        assert mgr.receiver_key(StubHCA(2), self.packet(src_qp=0x101)) == k_a
+        assert mgr.receiver_key(StubHCA(2), self.packet(src_qp=0x999)) == k_b
+
+    def test_unknown_pair_returns_none_at_receiver(self, directory):
+        mgr = QPLevelKeyManager(directory, random.Random(1))
+        assert mgr.receiver_key(StubHCA(2), self.packet()) is None
+
+    def test_pairs_directional_keys(self, directory):
+        mgr = QPLevelKeyManager(directory, random.Random(1))
+        mgr.sender_key(StubHCA(1), self.packet())
+        assert mgr.known_pairs() == 1
+
+    def test_per_destination_keys(self, directory):
+        mgr = QPLevelKeyManager(directory, random.Random(1))
+        k_to_2, _ = mgr.sender_key(StubHCA(1), self.packet(dst=2))
+        k_to_3, _ = mgr.sender_key(StubHCA(1), self.packet(dst=3))
+        assert k_to_2 != k_to_3
+        assert mgr.exchanges == 2

@@ -1,0 +1,131 @@
+"""Table 2 analytical model: the exact formulas, orderings, and edge cases."""
+
+import pytest
+
+from repro.core.overhead import (
+    MAX_PKEY_TABLE_BYTES,
+    MAX_PKEYS_PER_PORT,
+    EnforcementOverheadModel,
+    f_binary,
+    f_cam,
+    f_linear,
+    pkey_table_bytes,
+)
+
+
+@pytest.fixture
+def model():
+    return EnforcementOverheadModel(
+        n=16, s=16, p=4, attack_probability=0.01, avg_invalid_entries=2.0
+    )
+
+
+class TestFormulas:
+    """Row-by-row against Table 2's symbolic expressions."""
+
+    def test_dpt(self, model):
+        row = model.dpt(f_linear)
+        assert row.memory_per_switch == 16 * 4
+        assert row.memory_all_switches == 16 * 4 * 16
+        assert row.lookups_per_packet == 16 * 4
+
+    def test_if(self, model):
+        row = model.ingress_filtering(f_linear)
+        assert row.memory_per_switch == 4
+        assert row.memory_all_switches == 4 * 16
+        assert row.lookups_per_packet == 4
+
+    def test_sif(self, model):
+        row = model.sif(f_linear)
+        # p + Pr(n) * min(Avg(p), p)
+        assert row.memory_per_switch == pytest.approx(4 + 0.01 * 2.0)
+        assert row.memory_all_switches == pytest.approx((4 + 0.01 * 2.0) * 16)
+        # Pr(n) * f(min(Avg(p), p))
+        assert row.lookups_per_packet == pytest.approx(0.01 * 2.0)
+
+    def test_sif_min_clamps_to_p(self):
+        m = EnforcementOverheadModel(n=8, s=8, p=2, attack_probability=0.5, avg_invalid_entries=100.0)
+        row = m.sif(f_linear)
+        assert row.memory_per_switch == pytest.approx(2 + 0.5 * 2)
+        assert row.lookups_per_packet == pytest.approx(0.5 * 2)
+
+    def test_rows_order(self, model):
+        assert [r.scheme for r in model.rows()] == ["DPT", "IF", "SIF"]
+
+
+class TestOrderings:
+    """The qualitative claims of Section 3.3."""
+
+    def test_dpt_memory_dominates(self, model):
+        rows = {r.scheme: r for r in model.rows()}
+        assert rows["DPT"].memory_all_switches > rows["SIF"].memory_all_switches
+        assert rows["DPT"].memory_all_switches > rows["IF"].memory_all_switches
+
+    def test_if_sif_memory_similar(self, model):
+        rows = {r.scheme: r for r in model.rows()}
+        ratio = rows["SIF"].memory_all_switches / rows["IF"].memory_all_switches
+        assert 1.0 <= ratio < 1.1  # "IF and SIF show similar memory overhead"
+
+    def test_sif_wins_lookups_when_attacks_rare(self, model):
+        assert model.sif_beats_if_on_lookups(f_linear)
+        assert model.sif_beats_if_on_lookups(f_cam)
+
+    def test_sif_can_lose_under_constant_attack(self):
+        m = EnforcementOverheadModel(n=4, s=4, p=2, attack_probability=1.0, avg_invalid_entries=2.0)
+        assert not m.sif_beats_if_on_lookups(f_linear)
+
+    def test_memory_ratio(self, model):
+        assert model.memory_ratio_dpt_over_if() == pytest.approx(16.0)  # == s
+
+
+class TestLookupFunctions:
+    def test_linear(self):
+        assert f_linear(100) == 100.0
+
+    def test_binary(self):
+        assert f_binary(1024) == pytest.approx(10.0)
+        assert f_binary(1) == 1.0
+
+    def test_cam_constant(self):
+        assert f_cam(1) == f_cam(10**6) == 1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0, "s": 1, "p": 1},
+            {"n": 1, "s": 0, "p": 1},
+            {"n": 1, "s": 1, "p": 0},
+            {"n": 1, "s": 1, "p": 1, "attack_probability": 1.5},
+            {"n": 1, "s": 1, "p": 1, "avg_invalid_entries": -1.0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            EnforcementOverheadModel(**kwargs)
+
+
+class TestPKeyTableSizes:
+    def test_paper_arithmetic(self):
+        """'each port can have at most 32768 P_Keys, and the maximum size of
+        memory for storing all the P_Keys is 64KB because one P_Key is 16
+        bits long.'"""
+        assert MAX_PKEYS_PER_PORT == 32768
+        assert MAX_PKEY_TABLE_BYTES == 64 * 1024
+
+    def test_scaling(self):
+        assert pkey_table_bytes(1) == 2
+        assert pkey_table_bytes(0) == 0
+        with pytest.raises(ValueError):
+            pkey_table_bytes(-1)
+
+
+class TestSimulatorAgreement:
+    def test_measured_lookup_ordering(self):
+        """The packet-level simulator's lookup counters must order the same
+        way the analytical model says: DPT >> IF > SIF."""
+        from repro.experiments.table2_overhead import measured_lookups
+
+        counts = measured_lookups(sim_time_us=400.0, seed=5)
+        assert counts["dpt"] > counts["if"] > counts["sif"]

@@ -1,0 +1,64 @@
+"""Replay module: window analysis, state overhead, packaged experiment."""
+
+import pytest
+
+from repro.core.replay import (
+    ReplayWindowAnalysis,
+    run_replay_experiment,
+    state_overhead_bytes,
+)
+from repro.iba.qp import QueuePair
+
+
+class TestWindowAnalysis:
+    def test_default_window_covers_cross_vl_reorder(self):
+        analysis = ReplayWindowAnalysis(vl_classes=2, burst_packets=16)
+        assert analysis.required_window == 17
+        assert analysis.window_is_sufficient(QueuePair.REPLAY_WINDOW)
+
+    def test_insufficient_window_detected(self):
+        analysis = ReplayWindowAnalysis(vl_classes=4, burst_packets=64)
+        assert not analysis.window_is_sufficient(window=32)
+
+    def test_false_reject_free_bounds(self):
+        ok = ReplayWindowAnalysis()
+        assert ok.false_reject_free(QueuePair.REPLAY_WINDOW)
+        assert not ok.false_reject_free(window=2**23)  # serial arithmetic breaks
+
+    def test_single_vl_needs_window_one(self):
+        assert ReplayWindowAnalysis(vl_classes=1).required_window == 1
+
+
+class TestStateOverhead:
+    def test_scaling(self):
+        per_peer = state_overhead_bytes(1)
+        assert state_overhead_bytes(100) == 100 * per_peer
+
+    def test_default_window_cost(self):
+        # 3 bytes PSN + 8 bytes of 64-bit bitmap
+        assert state_overhead_bytes(1, window=64) == 11
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            state_overhead_bytes(-1)
+        with pytest.raises(ValueError):
+            state_overhead_bytes(1, window=0)
+
+    def test_zero_peers_free(self):
+        assert state_overhead_bytes(0) == 0
+
+
+class TestPackagedExperiment:
+    def test_unprotected_accepts_all(self):
+        delivered, rejected = run_replay_experiment(replays=3, protected=False)
+        assert delivered == 4  # original + 3 replays, every tag valid
+        assert rejected == 0
+
+    def test_protected_rejects_replays(self):
+        delivered, rejected = run_replay_experiment(replays=3, protected=True)
+        assert delivered == 1
+        assert rejected == 3
+
+    def test_zero_replays(self):
+        delivered, rejected = run_replay_experiment(replays=0, protected=True)
+        assert delivered == 1 and rejected == 0

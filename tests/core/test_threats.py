@@ -1,0 +1,48 @@
+"""Executable Table 3: every key's threat runs, and the MAC closes it."""
+
+import pytest
+
+from repro.core.threats import ThreatOutcome, format_matrix, run_threat_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_threat_matrix()
+
+
+class TestMatrixShape:
+    def test_all_five_key_families(self, matrix):
+        assert [o.key for o in matrix] == ["M_Key", "B_Key", "P_Key", "Q_Key", "L_Key/R_Key"]
+
+    def test_every_row_is_outcome(self, matrix):
+        assert all(isinstance(o, ThreatOutcome) for o in matrix)
+
+
+class TestStockIbaIsBroken:
+    """Table 3's premise: possession of the plaintext key is enough."""
+
+    def test_every_threat_succeeds_on_stock_iba(self, matrix):
+        for outcome in matrix:
+            assert outcome.succeeded_stock, f"{outcome.key} should breach stock IBA"
+
+
+class TestMacClosesThreats:
+    def test_partition_auth_blocks_all(self, matrix):
+        for outcome in matrix:
+            assert not outcome.succeeded_partition_auth, (
+                f"{outcome.key} should be blocked by partition-level MAC"
+            )
+
+    def test_qp_auth_blocks_all(self, matrix):
+        for outcome in matrix:
+            assert not outcome.succeeded_qp_auth, (
+                f"{outcome.key} should be blocked by QP-level MAC"
+            )
+
+
+class TestFormatting:
+    def test_format_contains_verdicts(self, matrix):
+        text = format_matrix(matrix)
+        assert "BREACH" in text and "safe" in text
+        for key in ("M_Key", "P_Key", "Q_Key"):
+            assert key in text

@@ -1,0 +1,144 @@
+"""AES-128 against FIPS-197 and AES-CMAC against RFC 4493 vectors, plus the
+security-processor analysis (Section 7, ref [39])."""
+
+import pytest
+
+from repro.crypto.aes import AES128, SBOX, INV_SBOX, _gf_inv, _gf_mul
+from repro.crypto.cmac import AESCMAC, aes_cmac
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+RFC_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+RFC_M16 = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+RFC_M40 = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411"
+)
+
+
+class TestGF256:
+    def test_mul_identity(self):
+        for a in (0, 1, 0x53, 0xFF):
+            assert _gf_mul(a, 1) == a
+
+    def test_known_product(self):
+        assert _gf_mul(0x57, 0x83) == 0xC1  # FIPS-197 example
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert _gf_mul(a, _gf_inv(a)) == 1
+        assert _gf_inv(0) == 0
+
+
+class TestSbox:
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_table(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestAES128:
+    def test_fips197_vector(self):
+        cipher = AES128(FIPS_KEY)
+        assert cipher.encrypt_block(FIPS_PT) == FIPS_CT
+        assert cipher.decrypt_block(FIPS_CT) == FIPS_PT
+
+    def test_roundtrip_random_blocks(self):
+        import random
+
+        rng = random.Random(0)
+        cipher = AES128(bytes(rng.randrange(256) for _ in range(16)))
+        for _ in range(20):
+            pt = bytes(rng.randrange(256) for _ in range(16))
+            assert cipher.decrypt_block(cipher.encrypt_block(pt)) == pt
+
+    def test_key_sensitivity(self):
+        a = AES128(FIPS_KEY).encrypt_block(FIPS_PT)
+        k2 = bytes([FIPS_KEY[0] ^ 1]) + FIPS_KEY[1:]
+        assert AES128(k2).encrypt_block(FIPS_PT) != a
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+        with pytest.raises(ValueError):
+            AES128(FIPS_KEY).encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            AES128(FIPS_KEY).decrypt_block(b"short")
+
+
+class TestCMAC:
+    def test_rfc4493_empty(self):
+        assert AESCMAC(RFC_KEY).full_tag(b"").hex() == "bb1d6929e95937287fa37d129b756746"
+
+    def test_rfc4493_one_block(self):
+        assert AESCMAC(RFC_KEY).full_tag(RFC_M16).hex() == "070a16b46b4d4144f79bdd9dd04a287c"
+
+    def test_rfc4493_partial_final(self):
+        assert AESCMAC(RFC_KEY).full_tag(RFC_M40).hex() == "dfa66747de9ae63030ca32611497c827"
+
+    def test_truncated_tag_roundtrip(self):
+        mac = AESCMAC(RFC_KEY)
+        t = mac.tag(b"hello infiniband")
+        assert 0 <= t <= 0xFFFFFFFF
+        assert mac.verify(b"hello infiniband", t)
+        assert not mac.verify(b"hello infiniband!", t)
+
+    def test_nonce_entry_point(self):
+        assert aes_cmac(RFC_KEY, b"m", 1) != aes_cmac(RFC_KEY, b"m", 2)
+        assert aes_cmac(RFC_KEY, b"m", 1) == aes_cmac(RFC_KEY, b"m", 1)
+
+    def test_registered_auth_function(self):
+        from repro.core.auth import AUTH_FUNCTIONS, auth_function_for
+        from repro.sim.config import AuthMode
+
+        func = auth_function_for(AuthMode.AES_CMAC)
+        assert func.name == "aes-cmac"
+        assert func.ident in AUTH_FUNCTIONS
+        t = func.compute(RFC_KEY, b"packet bytes", 9)
+        assert t == func.compute(RFC_KEY, b"packet bytes", 9)
+
+
+class TestSecurityProcessorModel:
+    def test_cited_range_vs_link_widths(self):
+        from repro.analysis.secproc import hodjat_engine, offload_summary
+
+        rows = {r["link"]: r for r in offload_summary()}
+        # the conservative 30 Gbps engine covers 1x and 4x comfortably...
+        assert rows["1x"]["ok_at_30gbps"] and rows["4x"]["ok_at_30gbps"]
+        # ...but per-packet overhead makes it miss a 12x link — only the
+        # peak 70 Gbps configuration is truly "comparable to IBA" end to end
+        assert not rows["12x"]["ok_at_30gbps"]
+        assert all(r["ok_at_70gbps"] for r in rows.values())
+        assert hodjat_engine(True).throughput_gbps == 30.0
+
+    def test_slow_engine_fails_wide_links(self):
+        from repro.analysis.secproc import SecurityProcessor
+
+        slow = SecurityProcessor(throughput_gbps=5.0)
+        assert slow.keeps_line_rate("1x")
+        assert not slow.keeps_line_rate("12x")
+
+    def test_per_packet_cost_hurts_small_frames(self):
+        from repro.analysis.secproc import SecurityProcessor
+
+        engine = SecurityProcessor(throughput_gbps=30.0, per_packet_ns=500.0)
+        assert engine.effective_gbps(64) < engine.effective_gbps(4096)
+
+    def test_validation(self):
+        from repro.analysis.secproc import SecurityProcessor
+
+        with pytest.raises(ValueError):
+            SecurityProcessor(0.0)
+        with pytest.raises(KeyError):
+            SecurityProcessor(30.0).keeps_line_rate("8x")

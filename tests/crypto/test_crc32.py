@@ -1,0 +1,98 @@
+"""CRC-32: correctness against the standard (zlib), incremental engine,
+bitwise oracle, and the linearity property that disqualifies CRC as a MAC."""
+
+import zlib
+
+import pytest
+
+from repro.crypto.crc32 import CRC32, crc32, crc32_bitwise
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"123456789",
+            b"\x00" * 64,
+            b"\xff" * 64,
+            bytes(range(256)),
+            b"The quick brown fox jumps over the lazy dog",
+            bytes(range(256)) * 17,
+        ],
+    )
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @pytest.mark.parametrize("data", [b"", b"abc", bytes(range(256)) * 3])
+    def test_bitwise_matches_table(self, data):
+        assert crc32_bitwise(data) == crc32(data)
+
+    def test_check_value(self):
+        # The canonical CRC-32 check value for "123456789".
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_continuation(self):
+        whole = crc32(b"hello world")
+        partial = crc32(b" world", crc32(b"hello"))
+        assert partial == whole
+
+
+class TestIncrementalEngine:
+    def test_single_update_equals_oneshot(self):
+        eng = CRC32(b"foobar")
+        assert eng.value == crc32(b"foobar")
+
+    def test_chunked_updates(self):
+        data = bytes(range(256)) * 5
+        eng = CRC32()
+        for off in range(0, len(data), 37):
+            eng.update(data[off : off + 37])
+        assert eng.value == crc32(data)
+
+    def test_digest_is_little_endian(self):
+        eng = CRC32(b"123456789")
+        assert eng.digest() == (0xCBF43926).to_bytes(4, "little")
+
+    def test_copy_is_independent(self):
+        eng = CRC32(b"abc")
+        clone = eng.copy()
+        eng.update(b"def")
+        assert clone.value == crc32(b"abc")
+        assert eng.value == crc32(b"abcdef")
+
+    def test_empty_value(self):
+        assert CRC32().value == 0
+        assert crc32(b"") == 0
+
+    def test_value_readable_midstream(self):
+        eng = CRC32()
+        eng.update(b"abc")
+        v1 = eng.value
+        eng.update(b"def")
+        assert v1 == crc32(b"abc")
+        assert eng.value == crc32(b"abcdef")
+
+
+class TestLinearityMakesCrcForgeable:
+    """The security premise of the paper: CRC is keyless and linear, so an
+    adversary can always fix the checksum after tampering."""
+
+    def test_xor_linearity(self):
+        a = b"transfer $100 to alice.."
+        b = b"transfer $999 to mallory"
+        zeros = bytes(len(a))
+        delta = bytes(x ^ y for x, y in zip(a, b))
+        assert crc32(b) == crc32(a) ^ crc32(delta) ^ crc32(zeros)
+
+    def test_forgery_without_key(self):
+        from repro.analysis.forgery import crc_is_forgeable
+
+        assert crc_is_forgeable()
+
+    def test_forgery_probability_is_one(self):
+        from repro.analysis.forgery import forgery_probability
+
+        assert forgery_probability("crc") == 1.0

@@ -1,0 +1,64 @@
+"""Hypothesis properties for the incremental hash engines: arbitrary
+chunkings must equal one-shot digests (the HCA pipeline folds packets in
+field-by-field, so this is load-bearing)."""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.md5 import MD5
+from repro.crypto.sha1 import SHA1
+
+
+@st.composite
+def chunked_message(draw):
+    data = draw(st.binary(min_size=0, max_size=600))
+    if not data:
+        return data, []
+    cuts = draw(
+        st.lists(st.integers(0, len(data)), min_size=0, max_size=8, unique=True)
+    )
+    bounds = [0] + sorted(cuts) + [len(data)]
+    chunks = [data[a:b] for a, b in zip(bounds, bounds[1:])]
+    return data, chunks
+
+
+@given(chunked_message())
+@settings(max_examples=120)
+def test_md5_chunking_invariant(case):
+    data, chunks = case
+    h = MD5()
+    for chunk in chunks:
+        h.update(chunk)
+    assert h.digest() == hashlib.md5(data).digest()
+
+
+@given(chunked_message())
+@settings(max_examples=120)
+def test_sha1_chunking_invariant(case):
+    data, chunks = case
+    h = SHA1()
+    for chunk in chunks:
+        h.update(chunk)
+    assert h.digest() == hashlib.sha1(data).digest()
+
+
+@given(st.binary(max_size=300), st.binary(max_size=300))
+@settings(max_examples=60)
+def test_copy_forks_state(prefix, suffix):
+    h = SHA1(prefix)
+    clone = h.copy()
+    h.update(suffix)
+    assert clone.digest() == hashlib.sha1(prefix).digest()
+    assert h.digest() == hashlib.sha1(prefix + suffix).digest()
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=60)
+def test_digest_is_pure(data):
+    """Calling digest() must not disturb the running state."""
+    h = MD5(data)
+    first = h.digest()
+    second = h.digest()
+    h.update(b"")
+    assert first == second == h.digest()

@@ -1,0 +1,50 @@
+"""Key derivation: determinism, domain separation, length handling."""
+
+import random
+
+import pytest
+
+from repro.crypto.kdf import derive_key, fresh_key
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        assert derive_key(b"master", b"ctx") == derive_key(b"master", b"ctx")
+
+    def test_context_separation(self):
+        assert derive_key(b"master", b"partition-1") != derive_key(b"master", b"partition-2")
+
+    def test_master_separation(self):
+        assert derive_key(b"m1", b"ctx") != derive_key(b"m2", b"ctx")
+
+    @pytest.mark.parametrize("length", [1, 16, 20, 21, 40, 64, 100])
+    def test_lengths(self, length):
+        key = derive_key(b"master", b"ctx", length)
+        assert len(key) == length
+
+    def test_prefix_not_shared_across_lengths(self):
+        # expanding more material keeps the shared prefix consistent
+        short = derive_key(b"m", b"c", 16)
+        long = derive_key(b"m", b"c", 32)
+        assert long[:16] == short
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            derive_key(b"m", b"c", 0)
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(ValueError):
+            derive_key(b"", b"c")
+
+
+class TestFreshKey:
+    def test_length(self):
+        assert len(fresh_key(random.Random(0))) == 16
+        assert len(fresh_key(random.Random(0), 32)) == 32
+
+    def test_seeded_reproducible(self):
+        assert fresh_key(random.Random(42)) == fresh_key(random.Random(42))
+
+    def test_distinct_draws(self):
+        rng = random.Random(1)
+        assert fresh_key(rng) != fresh_key(rng)

@@ -1,0 +1,148 @@
+"""XTEA block cipher, PMAC over XTEA, and the stream-cipher MAC —
+the Section-7 fast-authentication alternatives."""
+
+import pytest
+
+from repro.crypto.pmac import PMAC, _double
+from repro.crypto.stream import StreamCipher, stream_mac
+from repro.crypto.xtea import XTEA
+
+KEY16 = bytes(range(16))
+
+
+class TestXTEA:
+    def test_roundtrip(self):
+        c = XTEA(KEY16)
+        for pt in (b"\x00" * 8, b"\xff" * 8, b"ABCDEFGH", bytes(range(8))):
+            assert c.decrypt_block(c.encrypt_block(pt)) == pt
+
+    def test_known_vector(self):
+        # Standard XTEA vector: key=0x000102...0f, pt=0x4142434445464748.
+        c = XTEA(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        ct = c.encrypt_block(bytes.fromhex("4142434445464748"))
+        assert ct == bytes.fromhex("497df3d072612cb5")
+
+    def test_zero_vector(self):
+        c = XTEA(bytes(16))
+        ct = c.encrypt_block(bytes(8))
+        assert c.decrypt_block(ct) == bytes(8)
+        assert ct != bytes(8)
+
+    def test_key_sensitivity(self):
+        a = XTEA(KEY16).encrypt_block(b"12345678")
+        k2 = bytes([KEY16[0] ^ 1]) + KEY16[1:]
+        b = XTEA(k2).encrypt_block(b"12345678")
+        assert a != b
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            XTEA(b"short")
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            XTEA(KEY16).encrypt_block(b"toolongblock")
+        with pytest.raises(ValueError):
+            XTEA(KEY16).decrypt_block(b"x")
+
+    def test_avalanche(self):
+        c = XTEA(KEY16)
+        a = c.encrypt_block(b"\x00" * 8)
+        b = c.encrypt_block(b"\x01" + b"\x00" * 7)
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert diff > 16  # roughly half of 64 bits should flip
+
+
+class TestGF64Double:
+    def test_no_carry(self):
+        assert _double(1) == 2
+        assert _double(0x40) == 0x80
+
+    def test_carry_feeds_polynomial(self):
+        assert _double(1 << 63) == 0x1B
+
+    def test_stays_64bit(self):
+        x = 0xFFFFFFFFFFFFFFFF
+        assert 0 <= _double(x) < 2**64
+
+
+class TestPMAC:
+    def test_verify_roundtrip(self):
+        mac = PMAC(KEY16)
+        for msg in (b"", b"a", b"12345678", b"123456789", b"x" * 100):
+            assert mac.verify(msg, mac.tag(msg))
+
+    def test_tamper_detected(self):
+        mac = PMAC(KEY16)
+        t = mac.tag(b"hello world!")
+        assert not mac.verify(b"hello world?", t)
+        assert not mac.verify(b"hello world!", t ^ 1)
+
+    def test_key_separation(self):
+        t = PMAC(KEY16).tag(b"msg")
+        assert not PMAC(bytes(16)).verify(b"msg", t)
+
+    def test_full_vs_padded_final_block(self):
+        # An 8-byte message and the same message 10*-padded by hand must not
+        # collide (the 3·L mask separates the domains).
+        mac = PMAC(KEY16)
+        full = b"ABCDEFGH"
+        padded_lookalike = b"ABCDEFG"
+        assert mac.tag(full) != mac.tag(padded_lookalike)
+
+    def test_block_order_matters(self):
+        mac = PMAC(KEY16)
+        a = b"AAAAAAAA" + b"BBBBBBBB"
+        b = b"BBBBBBBB" + b"AAAAAAAA"
+        assert mac.tag(a) != mac.tag(b)
+
+    def test_tag_is_32_bits(self):
+        t = PMAC(KEY16).tag(b"x" * 50)
+        assert 0 <= t <= 0xFFFFFFFF
+
+    def test_blocks_helper(self):
+        mac = PMAC(KEY16)
+        assert mac.blocks(b"") == [b""]
+        assert mac.blocks(b"12345678") == [b"12345678"]
+        assert mac.blocks(b"123456789") == [b"12345678", b"9"]
+
+
+class TestStreamCipher:
+    def test_keystream_deterministic(self):
+        assert StreamCipher(b"key").keystream(32) == StreamCipher(b"key").keystream(32)
+
+    def test_keystream_progresses(self):
+        ks = StreamCipher(b"key")
+        assert ks.keystream(16) != ks.keystream(16)
+
+    def test_encrypt_decrypt(self):
+        msg = b"attack at dawn"
+        ct = StreamCipher(b"key").encrypt(msg)
+        assert StreamCipher(b"key").encrypt(ct) == msg
+        assert ct != msg
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            StreamCipher(b"")
+
+
+class TestStreamMac:
+    def test_deterministic(self):
+        assert stream_mac(b"k" * 16, b"data", 1) == stream_mac(b"k" * 16, b"data", 1)
+
+    def test_nonce_separation(self):
+        assert stream_mac(b"k" * 16, b"data", 1) != stream_mac(b"k" * 16, b"data", 2)
+
+    def test_key_separation(self):
+        assert stream_mac(b"k" * 16, b"data", 1) != stream_mac(b"j" * 16, b"data", 1)
+
+    def test_tamper_detection(self):
+        base = stream_mac(b"k" * 16, b"data" * 50, 9)
+        tampered = bytearray(b"data" * 50)
+        tampered[77] ^= 0x80
+        assert stream_mac(b"k" * 16, bytes(tampered), 9) != base
+
+    def test_length_binding(self):
+        assert stream_mac(b"k" * 16, b"ab", 1) != stream_mac(b"k" * 16, b"ab\x00\x00", 1)
+
+    def test_tag_is_32_bits(self):
+        assert 0 <= stream_mac(b"k" * 16, b"x" * 999, 3) <= 0xFFFFFFFF

@@ -1,0 +1,130 @@
+"""ICRC/VCRC over packets: coverage rules, hop-invariance, tamper detection."""
+
+from repro.iba import crc as ibacrc
+from repro.iba.packet import DataPacket
+
+from tests.conftest import make_packet
+
+
+class TestICRC:
+    def test_stamp_then_verify(self):
+        p = ibacrc.stamp(make_packet())
+        assert ibacrc.verify_icrc(p)
+
+    def test_tamper_payload_detected(self):
+        p = ibacrc.stamp(make_packet(payload=b"original!"))
+        p.payload = b"tampered!"
+        assert not ibacrc.verify_icrc(p)
+
+    def test_tamper_pkey_detected(self):
+        from repro.iba.keys import PKey
+
+        p = ibacrc.stamp(make_packet())
+        p.bth.pkey = PKey(0x8002)
+        assert not ibacrc.verify_icrc(p)
+
+    def test_invariant_across_vl_rewrite(self):
+        """A switch may remap the VL in flight; the ICRC must not change —
+        that end-to-end invariance is why the field can hold an end-to-end
+        authentication tag."""
+        p = ibacrc.stamp(make_packet(vl=0))
+        original = p.icrc
+        p.lrh.vl = 1  # variant-field rewrite in a switch
+        assert ibacrc.icrc(p) == original
+        assert ibacrc.verify_icrc(p)
+
+    def test_invariant_across_auth_selector(self):
+        p = ibacrc.stamp(make_packet())
+        original = p.icrc
+        p.bth.reserved_auth = 4
+        assert ibacrc.icrc(p) == original
+
+    def test_icrc_is_32bit(self):
+        p = ibacrc.stamp(make_packet())
+        assert 0 <= p.icrc <= 0xFFFFFFFF
+
+
+class TestGRHCoverage:
+    def _global_packet(self):
+        from repro.iba.packet import GlobalRouteHeader
+
+        p = make_packet()
+        p.grh = GlobalRouteHeader(
+            src_gid=bytes(range(16)), dst_gid=bytes(range(16, 32)),
+            hop_limit=64, flow_label=0x111,
+        )
+        return p
+
+    def test_icrc_covers_gids(self):
+        a = ibacrc.stamp(self._global_packet())
+        b = self._global_packet()
+        b.grh.dst_gid = bytes(16)
+        ibacrc.stamp(b)
+        assert a.icrc != b.icrc
+
+    def test_icrc_ignores_hop_limit_decrement(self):
+        """A router decrements hop limit in flight; the end-to-end ICRC/AT
+        must survive it (hop limit is masked like the LRH VL)."""
+        p = ibacrc.stamp(self._global_packet())
+        p.grh.hop_limit -= 3
+        assert ibacrc.verify_icrc(p)
+
+    def test_vcrc_covers_hop_limit(self):
+        p = ibacrc.stamp(self._global_packet())
+        p.grh.hop_limit -= 1
+        assert not ibacrc.verify_vcrc(p)
+
+    def test_mac_over_global_packet(self):
+        import random
+
+        from repro.core.auth import MacAuthService, auth_function_for
+        from repro.core.keymgmt import NodeDirectory, PartitionLevelKeyManager
+        from repro.sim.config import AuthMode
+
+        rng = random.Random(0)
+        directory = NodeDirectory.for_nodes([1, 2], rng, bits=256)
+        mgr = PartitionLevelKeyManager(directory, rng)
+        mgr.create_partition_key(1, {1, 2})
+        svc = MacAuthService(auth_function_for(AuthMode.UMAC), mgr)
+
+        class Stub:
+            def __init__(self, lid):
+                self.lid = lid
+
+        p = self._global_packet()
+        svc.prepare(p, Stub(1))
+        p.grh.hop_limit -= 2  # in-flight router rewrite
+        assert svc.verify(p, Stub(2))
+        p.grh.dst_gid = bytes(16)  # tampering with an invariant field
+        assert not svc.verify(p, Stub(2))
+
+
+class TestVCRC:
+    def test_stamp_then_verify(self):
+        p = ibacrc.stamp(make_packet())
+        assert ibacrc.verify_vcrc(p)
+
+    def test_covers_variant_fields(self):
+        """VL rewrite must invalidate the VCRC (it is recomputed per hop)."""
+        p = ibacrc.stamp(make_packet(vl=0))
+        p.lrh.vl = 1
+        assert not ibacrc.verify_vcrc(p)
+        p.vcrc = ibacrc.vcrc(p)  # the switch recomputes
+        assert ibacrc.verify_vcrc(p)
+
+    def test_covers_icrc_field(self):
+        p = ibacrc.stamp(make_packet())
+        p.icrc ^= 1
+        assert not ibacrc.verify_vcrc(p)
+
+    def test_is_16bit(self):
+        p = ibacrc.stamp(make_packet())
+        assert 0 <= p.vcrc <= 0xFFFF
+
+
+class TestLPCRC:
+    def test_deterministic(self):
+        assert ibacrc.lpcrc(b"flow-control") == ibacrc.lpcrc(b"flow-control")
+
+    def test_detects_change(self):
+        assert ibacrc.lpcrc(b"credits=1") != ibacrc.lpcrc(b"credits=2")

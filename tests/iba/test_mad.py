@@ -1,0 +1,131 @@
+"""MAD layer: M_Key/B_Key gates, attribute mutation, violation counters,
+and the executable M_Key attack."""
+
+import pytest
+
+from repro.iba.keys import BKey, MKey, PKey
+from repro.iba.mad import (
+    MadAttribute,
+    MadMethod,
+    MadStatus,
+    ManagementAgent,
+    PortAttributes,
+    SMP,
+    reconfigure_port,
+)
+from repro.iba.types import LID
+
+
+@pytest.fixture
+def agent():
+    return ManagementAgent(
+        PortAttributes(lid=LID(5), mkey=MKey(0xAAAA), bkey=BKey(0xBBBB))
+    )
+
+
+def smp(method, attribute, mkey=None, bkey=None, payload=None):
+    return SMP(
+        method=method, attribute=attribute, source=LID(9), target=LID(5),
+        mkey=mkey, bkey=bkey, payload=payload or {},
+    )
+
+
+class TestMKeyGate:
+    def test_get_is_open(self, agent):
+        status, resp = agent.handle(smp(MadMethod.GET, MadAttribute.PORT_INFO))
+        assert status is MadStatus.OK
+        assert resp["port_state"] == "active"
+
+    def test_set_without_mkey_rejected(self, agent):
+        status, _ = agent.handle(
+            smp(MadMethod.SET, MadAttribute.PORT_INFO, payload={"port_state": "down"})
+        )
+        assert status is MadStatus.BAD_MKEY
+        assert agent.attributes.port_state == "active"
+        assert agent.attributes.mkey_violation_counter == 1
+
+    def test_set_with_wrong_mkey_rejected(self, agent):
+        status, _ = agent.handle(
+            smp(MadMethod.SET, MadAttribute.PORT_INFO, mkey=MKey(0x1111),
+                payload={"port_state": "down"})
+        )
+        assert status is MadStatus.BAD_MKEY
+
+    def test_set_with_correct_mkey_succeeds(self, agent):
+        status, _ = agent.handle(
+            smp(MadMethod.SET, MadAttribute.PORT_INFO, mkey=MKey(0xAAAA),
+                payload={"port_state": "down"})
+        )
+        assert status is MadStatus.OK
+        assert agent.attributes.port_state == "down"
+
+    def test_unprotected_port_accepts_any_set(self):
+        open_agent = ManagementAgent(PortAttributes(lid=LID(7)))  # M_Key 0
+        status, _ = open_agent.handle(
+            smp(MadMethod.SET, MadAttribute.PORT_INFO, payload={"port_state": "down"})
+        )
+        assert status is MadStatus.OK
+
+    def test_mkey_rotation_via_set(self, agent):
+        agent.handle(
+            smp(MadMethod.SET, MadAttribute.PORT_INFO, mkey=MKey(0xAAAA),
+                payload={"mkey": 0xCCCC})
+        )
+        assert agent.attributes.mkey == MKey(0xCCCC)
+        # old key no longer works
+        status, _ = agent.handle(
+            smp(MadMethod.SET, MadAttribute.PORT_INFO, mkey=MKey(0xAAAA),
+                payload={"port_state": "down"})
+        )
+        assert status is MadStatus.BAD_MKEY
+
+
+class TestBKeyGate:
+    def test_baseboard_set_needs_bkey(self, agent):
+        status, _ = agent.handle(
+            smp(MadMethod.SET, MadAttribute.BM_CONTROL, payload={"fan": "off"})
+        )
+        assert status is MadStatus.BAD_BKEY
+        assert agent.attributes.baseboard_config == {}
+
+    def test_baseboard_set_with_captured_bkey(self, agent):
+        """Table 3's B_Key row: the captured key changes hardware config."""
+        status, _ = agent.handle(
+            smp(MadMethod.SET, MadAttribute.BM_CONTROL, bkey=BKey(0xBBBB),
+                payload={"fan": "off"})
+        )
+        assert status is MadStatus.OK
+        assert agent.attributes.baseboard_config == {"fan": "off"}
+
+    def test_baseboard_ignores_mkey(self, agent):
+        status, _ = agent.handle(
+            smp(MadMethod.SET, MadAttribute.BM_CONTROL, mkey=MKey(0xAAAA))
+        )
+        assert status is MadStatus.BAD_BKEY
+
+
+class TestPKeyTableAttribute:
+    def test_sm_programs_partition_table(self, agent):
+        status, _ = agent.handle(
+            smp(MadMethod.SET, MadAttribute.PKEY_TABLE, mkey=MKey(0xAAAA),
+                payload={"pkeys": [0x8001, 0x8002]})
+        )
+        assert status is MadStatus.OK
+        _, resp = agent.handle(smp(MadMethod.GET, MadAttribute.PKEY_TABLE))
+        assert resp["pkeys"] == [0x8001, 0x8002]
+
+    def test_unsupported_attribute(self, agent):
+        status, _ = agent.handle(smp(MadMethod.GET, MadAttribute.SM_INFO))
+        assert status is MadStatus.UNSUPPORTED
+
+
+class TestMKeyAttackScenario:
+    def test_captured_mkey_downs_port(self, agent):
+        assert reconfigure_port(agent, LID(13), MKey(0xAAAA))
+        assert agent.attributes.port_state == "down"
+
+    def test_without_key_attack_fails(self, agent):
+        assert not reconfigure_port(agent, LID(13), None)
+        assert not reconfigure_port(agent, LID(13), MKey(0x1234))
+        assert agent.attributes.port_state == "active"
+        assert agent.attributes.mkey_violation_counter == 2

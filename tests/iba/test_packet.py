@@ -1,0 +1,146 @@
+"""Packet formats: header serialization, invariant-field masking (the ICRC
+coverage rule the whole AT design rests on), and nonce construction."""
+
+import pytest
+
+from repro.iba.keys import PKey, QKey
+from repro.iba.packet import (
+    BaseTransportHeader,
+    DatagramExtendedHeader,
+    LOCAL_RC_OVERHEAD,
+    LOCAL_UD_OVERHEAD,
+    LocalRouteHeader,
+    MANAGEMENT_PKEY,
+    TrapMAD,
+)
+from repro.iba.types import LID, QPN
+
+from tests.conftest import make_packet
+
+
+class TestLRH:
+    def test_size(self):
+        lrh = LocalRouteHeader(vl=3, service_level=2, dlid=LID(5), slid=LID(9), packet_length=100)
+        assert len(lrh.pack()) == 8
+
+    def test_fields_roundtrip_in_bytes(self):
+        lrh = LocalRouteHeader(vl=3, service_level=2, dlid=LID(0x1234), slid=LID(0x5678), packet_length=0x2AB)
+        raw = lrh.pack()
+        assert raw[0] >> 4 == 3  # VL nibble
+        assert raw[2:4] == b"\x12\x34"
+        assert raw[6:8] == b"\x56\x78"
+
+    def test_invariant_masks_vl(self):
+        a = LocalRouteHeader(vl=0, service_level=1, dlid=LID(1), slid=LID(2), packet_length=10)
+        b = LocalRouteHeader(vl=7, service_level=1, dlid=LID(1), slid=LID(2), packet_length=10)
+        assert a.pack() != b.pack()
+        assert a.pack_invariant() == b.pack_invariant()
+
+
+class TestBTH:
+    def test_size(self):
+        bth = BaseTransportHeader(opcode=0x64, pkey=PKey(0x8001), dest_qp=QPN(0x123456), psn=0xABCDEF)
+        assert len(bth.pack()) == 12
+
+    def test_pkey_on_wire(self):
+        bth = BaseTransportHeader(opcode=0, pkey=PKey(0x8001), dest_qp=QPN(1), psn=0)
+        assert bth.pack()[2:4] == b"\x80\x01"
+
+    def test_dest_qp_24bit(self):
+        bth = BaseTransportHeader(opcode=0, pkey=PKey(1), dest_qp=QPN(0xABCDEF), psn=0)
+        raw = bth.pack()
+        assert raw[5:8] == b"\xab\xcd\xef"
+
+    def test_reserved_auth_is_variant(self):
+        """The auth-function selector must NOT change the invariant bytes —
+        that is what lets the paper reuse the ICRC field compatibly."""
+        a = BaseTransportHeader(opcode=0, pkey=PKey(1), dest_qp=QPN(1), psn=5, reserved_auth=0)
+        b = BaseTransportHeader(opcode=0, pkey=PKey(1), dest_qp=QPN(1), psn=5, reserved_auth=3)
+        assert a.pack() != b.pack()
+        assert a.pack_invariant() == b.pack_invariant()
+
+    def test_psn_on_wire(self):
+        bth = BaseTransportHeader(opcode=0, pkey=PKey(1), dest_qp=QPN(1), psn=0x123456)
+        assert bth.pack()[9:12] == b"\x12\x34\x56"
+
+
+class TestDETH:
+    def test_size(self):
+        deth = DatagramExtendedHeader(qkey=QKey(5), src_qp=QPN(7))
+        assert len(deth.pack()) == 8
+
+    def test_qkey_and_srcqp(self):
+        deth = DatagramExtendedHeader(qkey=QKey(0xCAFEBABE), src_qp=QPN(0x010203))
+        raw = deth.pack()
+        assert raw[:4] == b"\xca\xfe\xba\xbe"
+        assert raw[5:8] == b"\x01\x02\x03"
+
+    def test_all_invariant(self):
+        deth = DatagramExtendedHeader(qkey=QKey(1), src_qp=QPN(2))
+        assert deth.pack() == deth.pack_invariant()
+
+
+class TestDataPacket:
+    def test_properties(self):
+        p = make_packet(src=3, dst=9, pkey=PKey(0x8002), qkey=QKey(77), dest_qp=5, src_qp=6)
+        assert int(p.src) == 3 and int(p.dst) == 9
+        assert p.pkey == PKey(0x8002)
+        assert p.qkey == QKey(77)
+        assert int(p.src_qp) == 6
+
+    def test_invariant_bytes_exclude_variant_fields(self):
+        a = make_packet(vl=0)
+        b = make_packet(vl=1)
+        b.bth.reserved_auth = 9
+        assert a.invariant_bytes() == b.invariant_bytes()
+
+    def test_invariant_bytes_cover_payload(self):
+        a = make_packet(payload=b"aaaa")
+        b = make_packet(payload=b"aaab")
+        assert a.invariant_bytes() != b.invariant_bytes()
+
+    def test_invariant_bytes_cover_addresses(self):
+        assert make_packet(dst=2).invariant_bytes() != make_packet(dst=3).invariant_bytes()
+
+    def test_variant_bytes_include_icrc(self):
+        p = make_packet()
+        p.icrc = 0x11111111
+        v1 = p.variant_bytes()
+        p.icrc = 0x22222222
+        assert v1 != p.variant_bytes()
+
+    def test_nonce_unique_per_psn_and_source(self):
+        a = make_packet(src=1, src_qp=5, psn=10)
+        b = make_packet(src=1, src_qp=5, psn=11)
+        c = make_packet(src=2, src_qp=5, psn=10)
+        assert len({a.nonce, b.nonce, c.nonce}) == 3
+
+    def test_packet_ids_unique(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+    def test_rc_packet_has_no_deth(self):
+        p = make_packet()
+        p.deth = None
+        assert p.qkey is None
+        assert p.src_qp is None
+        # invariant bytes still computable
+        assert isinstance(p.invariant_bytes(), bytes)
+
+
+class TestConstants:
+    def test_ud_overhead(self):
+        # LRH 8 + BTH 12 + DETH 8 + ICRC 4 + VCRC 2
+        assert LOCAL_UD_OVERHEAD == 34
+
+    def test_rc_overhead(self):
+        assert LOCAL_RC_OVERHEAD == 26
+
+    def test_management_pkey_is_default(self):
+        assert MANAGEMENT_PKEY.value == 0xFFFF
+
+
+class TestTrapMAD:
+    def test_fields(self):
+        t = TrapMAD(reporter=LID(1), offender=LID(2), bad_pkey=PKey(0x7000))
+        assert t.wire_length == 256
+        assert t.bad_pkey.index == 0x7000

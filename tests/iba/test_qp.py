@@ -1,0 +1,90 @@
+"""Queue pairs: PSN allocation, Q_Key acceptance, replay windows."""
+
+from repro.iba.keys import PKey, QKey
+from repro.iba.qp import QueuePair
+from repro.iba.types import LID, QPN, ServiceType
+
+
+def ud_qp(qkey=QKey(0x42)):
+    return QueuePair(
+        qpn=QPN(7), service=ServiceType.UNRELIABLE_DATAGRAM,
+        pkey=PKey(0x8001), qkey=qkey,
+    )
+
+
+def rc_qp():
+    return QueuePair(
+        qpn=QPN(8), service=ServiceType.RELIABLE_CONNECTION,
+        pkey=PKey(0x8001), connected_to=(LID(3), QPN(9)),
+    )
+
+
+class TestPSN:
+    def test_monotonic(self):
+        qp = ud_qp()
+        assert [qp.next_psn() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_wraps_at_24_bits(self):
+        qp = ud_qp()
+        qp._psn = 0xFFFFFF
+        assert qp.next_psn() == 0xFFFFFF
+        assert qp.next_psn() == 0
+
+
+class TestQKeyCheck:
+    def test_ud_requires_match(self):
+        qp = ud_qp(QKey(0x42))
+        assert qp.accepts_qkey(QKey(0x42))
+        assert not qp.accepts_qkey(QKey(0x43))
+        assert not qp.accepts_qkey(None)
+
+    def test_rc_ignores_qkey(self):
+        """Connected service carries no Q_Key (paper Table 3)."""
+        assert rc_qp().accepts_qkey(None)
+        assert rc_qp().accepts_qkey(QKey(0x9999))
+
+
+class TestReplay:
+    def test_first_packet_accepted(self):
+        qp = ud_qp()
+        assert qp.check_replay(LID(1), QPN(2), 100)
+
+    def test_exact_replay_rejected(self):
+        qp = ud_qp()
+        qp.check_replay(LID(1), QPN(2), 100)
+        assert not qp.check_replay(LID(1), QPN(2), 100)
+
+    def test_reorder_within_window_accepted_once(self):
+        """Bounded reorder (e.g. across VLs) passes, but only once."""
+        qp = ud_qp()
+        qp.check_replay(LID(1), QPN(2), 100)
+        assert qp.check_replay(LID(1), QPN(2), 99)  # late arrival
+        assert not qp.check_replay(LID(1), QPN(2), 99)  # its replay
+
+    def test_too_old_rejected(self):
+        qp = ud_qp()
+        qp.check_replay(LID(1), QPN(2), 1000)
+        assert not qp.check_replay(LID(1), QPN(2), 1000 - qp.REPLAY_WINDOW)
+
+    def test_advance_accepted(self):
+        qp = ud_qp()
+        qp.check_replay(LID(1), QPN(2), 100)
+        assert qp.check_replay(LID(1), QPN(2), 101)
+        assert qp.check_replay(LID(1), QPN(2), 200)
+
+    def test_per_source_state(self):
+        qp = ud_qp()
+        qp.check_replay(LID(1), QPN(2), 100)
+        # a different source QP has independent numbering
+        assert qp.check_replay(LID(1), QPN(3), 100)
+        assert qp.check_replay(LID(9), QPN(2), 100)
+
+    def test_wraparound_tolerated(self):
+        qp = ud_qp()
+        qp.check_replay(LID(1), QPN(2), 0xFFFFFE)
+        assert qp.check_replay(LID(1), QPN(2), 0x000001)  # serial arithmetic
+
+    def test_huge_backjump_rejected(self):
+        qp = ud_qp()
+        qp.check_replay(LID(1), QPN(2), 0x800000)
+        assert not qp.check_replay(LID(1), QPN(2), 0x000001)

@@ -1,0 +1,102 @@
+"""Subnet Manager: partition administration, trap queueing/latency,
+registration hooks, M_Key gate, and the SM-flood failure mode."""
+
+import pytest
+
+from repro.iba.keys import MKey, PKey
+from repro.iba.packet import TrapMAD
+from repro.iba.subnet_manager import SubnetManager
+from repro.iba.types import LID
+from repro.sim.engine import Engine, PS_PER_US
+
+
+def trap(offender=5, pkey=0x7123, reporter=2):
+    return TrapMAD(reporter=LID(reporter), offender=LID(offender), bad_pkey=PKey(pkey))
+
+
+class TestPartitions:
+    def test_create_returns_full_member_pkey(self, engine):
+        sm = SubnetManager(engine)
+        pk = sm.create_partition(3, {1, 2})
+        assert pk.index == 3 and pk.full_member
+
+    def test_membership_queries(self, engine):
+        sm = SubnetManager(engine)
+        sm.create_partition(1, {1, 2})
+        sm.create_partition(2, {2, 3})
+        assert sm.valid_pkey_indices() == {1, 2}
+        assert sm.partitions_of(2) == {1, 2}
+        assert sm.partitions_of(3) == {2}
+        assert sm.partitions_of(99) == set()
+
+    def test_index_range_checked(self, engine):
+        sm = SubnetManager(engine)
+        with pytest.raises(ValueError):
+            sm.create_partition(0, {1})
+        with pytest.raises(ValueError):
+            sm.create_partition(0x7FFF, {1})
+
+
+class TestTrapPath:
+    def test_trap_latency(self, engine):
+        sm = SubnetManager(engine, trap_latency_us=10.0, processing_us=2.0)
+        done = []
+        sm.registration_hooks[5] = lambda pkey, now: done.append(now)
+        sm.submit_trap(trap(offender=5))
+        engine.run()
+        assert sm.traps_processed == 1
+        assert done[0] == round(12.0 * PS_PER_US)
+
+    def test_unknown_offender_no_hook(self, engine):
+        sm = SubnetManager(engine)
+        sm.submit_trap(trap(offender=99))
+        engine.run()
+        assert sm.traps_processed == 1
+        assert sm.registrations == 0
+
+    def test_queue_processes_in_order(self, engine):
+        sm = SubnetManager(engine, trap_latency_us=1.0, processing_us=5.0)
+        order = []
+        sm.registration_hooks[1] = lambda pk, now: order.append(("a", now))
+        sm.registration_hooks[2] = lambda pk, now: order.append(("b", now))
+        sm.submit_trap(trap(offender=1))
+        sm.submit_trap(trap(offender=2))
+        engine.run()
+        assert [x[0] for x in order] == ["a", "b"]
+        assert order[1][1] > order[0][1]
+
+    def test_flood_overflows_queue(self, engine):
+        """Section 7's SM DoS: beyond the queue bound, traps are lost."""
+        sm = SubnetManager(engine, trap_latency_us=0.001, processing_us=50.0, queue_limit=4)
+        for i in range(50):
+            sm.submit_trap(trap(offender=i + 1))
+        engine.run()
+        assert sm.traps_received == 50
+        assert sm.traps_dropped > 0
+        assert sm.traps_processed + sm.traps_dropped == 50
+
+    def test_flooder_attack_model(self, engine):
+        from repro.core.attacks import SMTrapFlooder
+        from repro.sim.rng import RngStreams
+
+        sm = SubnetManager(engine, trap_latency_us=0.1, processing_us=20.0, queue_limit=8)
+        flooder = SMTrapFlooder(
+            engine, sm, reporter=LID(4), rate_per_us=1.0, duration_us=200.0,
+            rng=RngStreams(0).get("f"),
+        )
+        flooder.start()
+        engine.run()
+        assert flooder.sent > 100
+        assert sm.traps_dropped > 0
+
+
+class TestMKeyGate:
+    def test_subn_set_requires_mkey(self, engine):
+        sm = SubnetManager(engine, mkey=MKey(0xABCD))
+        assert sm.subn_set(MKey(0xABCD))
+        assert not sm.subn_set(MKey(0x1111))
+        assert not sm.subn_set(None)
+
+    def test_unprotected_sm(self, engine):
+        sm = SubnetManager(engine)  # M_Key 0
+        assert sm.subn_set(None)

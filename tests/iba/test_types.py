@@ -1,0 +1,50 @@
+"""Identifier types, VL/class mapping, engine unit constants."""
+
+import pytest
+
+from repro.iba.types import (
+    MAX_LID,
+    MAX_QPN,
+    TrafficClass,
+    VL_BEST_EFFORT,
+    VL_MANAGEMENT,
+    VL_REALTIME,
+    class_for_vl,
+)
+from repro.sim.engine import PS_PER_NS, PS_PER_US
+
+
+class TestVLMapping:
+    def test_classes_on_disjoint_vls(self):
+        assert TrafficClass.REALTIME.vl != TrafficClass.BEST_EFFORT.vl
+
+    def test_round_trip(self):
+        for cls in TrafficClass:
+            assert class_for_vl(cls.vl) is cls
+
+    def test_constants(self):
+        assert VL_REALTIME == 1
+        assert VL_BEST_EFFORT == 0
+        assert VL_MANAGEMENT == 15
+
+    def test_unmapped_vl_rejected(self):
+        with pytest.raises(ValueError):
+            class_for_vl(7)
+
+    def test_class_values(self):
+        assert TrafficClass("realtime") is TrafficClass.REALTIME
+        assert TrafficClass("best_effort") is TrafficClass.BEST_EFFORT
+
+
+class TestIdentifierRanges:
+    def test_lid_space(self):
+        assert MAX_LID == 0xFFFE  # 0xFFFF is the permissive LID
+
+    def test_qpn_space(self):
+        assert MAX_QPN == 0xFFFFFF
+
+
+class TestTimeConstants:
+    def test_units(self):
+        assert PS_PER_NS == 1_000
+        assert PS_PER_US == 1_000_000

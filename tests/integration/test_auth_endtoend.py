@@ -1,0 +1,127 @@
+"""Authentication end-to-end on the live fabric: legit traffic verifies,
+forgeries die, on-demand scoping works, replay protection composes."""
+
+import pytest
+
+from repro.core.attacks import forge_packet, inject_raw
+from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
+from repro.sim.engine import PS_PER_US
+from repro.sim.runner import build_experiment, run_simulation
+
+
+def auth_cfg(auth=AuthMode.UMAC, keymgmt=KeyMgmtMode.PARTITION, **overrides):
+    base = dict(
+        sim_time_us=400.0, seed=31, auth=auth, keymgmt=keymgmt,
+        best_effort_load=0.25, realtime_load=0.05,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+class TestLegitTrafficUnderMac:
+    @pytest.mark.parametrize("keymgmt", [KeyMgmtMode.PARTITION, KeyMgmtMode.QP])
+    def test_all_delivered(self, keymgmt):
+        r = run_simulation(auth_cfg(keymgmt=keymgmt))
+        assert r.delivered > 100
+        assert r.drops.get("auth", 0) == 0
+
+    @pytest.mark.parametrize(
+        "auth",
+        [AuthMode.UMAC, AuthMode.HMAC_MD5, AuthMode.PMAC, AuthMode.STREAM],
+    )
+    def test_every_algorithm_carries_traffic(self, auth):
+        r = run_simulation(auth_cfg(auth=auth, sim_time_us=200.0))
+        assert r.delivered > 30
+        assert r.drops.get("auth", 0) == 0
+
+    def test_qp_level_exchanges_counted(self):
+        r = run_simulation(auth_cfg(keymgmt=KeyMgmtMode.QP))
+        assert r.key_exchanges > 0
+        # at most one exchange per ordered communicating pair within a
+        # partition of 4: 4 partitions * 4*3 pairs
+        assert r.key_exchanges <= 48
+
+
+class TestForgeryOnFabric:
+    def _forge_and_run(self, cfg, guessed_tag=None, auth_fn_id=0):
+        engine, fabric, _, _, _, _ = build_experiment(cfg)
+        sm = fabric.sm
+        part1 = sorted(sm.partitions[1])
+        victim, insider = part1[0], part1[1]
+        outsider = sorted(sm.partitions[2])[0]
+        victim_hca = fabric.hca(victim)
+        attacker_hca = fabric.hca(outsider)
+        victim_qp = next(iter(victim_hca.qps.values()))
+        attacker_qp = next(iter(attacker_hca.qps.values()))
+        pkt = forge_packet(
+            attacker_hca, attacker_qp, victim_hca.lid, victim_qp.qpn,
+            victim_qp.pkey, victim_qp.qkey, cfg.mtu_bytes,
+            guessed_tag=guessed_tag, auth_fn_id=auth_fn_id,
+        )
+        inject_raw(attacker_hca, pkt)
+        engine.run(until=round(150 * PS_PER_US))
+        return victim_hca
+
+    def _quiet(self, **kw):
+        return auth_cfg(enable_best_effort=False, enable_realtime=False, **kw)
+
+    def test_stock_iba_accepts_forgery(self):
+        victim = self._forge_and_run(
+            self._quiet(auth=AuthMode.ICRC, keymgmt=KeyMgmtMode.NONE)
+        )
+        assert victim.delivered == 1
+
+    def test_mac_fabric_rejects_crc_forgery(self):
+        victim = self._forge_and_run(self._quiet())
+        assert victim.delivered == 0
+        assert victim.auth_failures == 1
+
+    def test_mac_fabric_rejects_guessed_tag(self):
+        victim = self._forge_and_run(self._quiet(), guessed_tag=0x12345678, auth_fn_id=1)
+        assert victim.delivered == 0
+        assert victim.auth_failures == 1
+
+
+class TestReplayProtection:
+    def test_replayed_packet_dropped(self):
+        cfg = auth_cfg(
+            replay_protection=True,
+            enable_best_effort=False, enable_realtime=False,
+        )
+        engine, fabric, _, _, _, _ = build_experiment(cfg)
+        sm = fabric.sm
+        part1 = sorted(sm.partitions[1])
+        src, dst = part1[0], part1[1]
+        src_hca, dst_hca = fabric.hca(src), fabric.hca(dst)
+        src_qp = next(iter(src_hca.qps.values()))
+        dst_qp = next(iter(dst_hca.qps.values()))
+        from repro.sim.traffic import make_ud_packet
+
+        original = make_ud_packet(
+            src_hca, src_qp, dst_hca.lid, dst_qp.qpn, dst_qp.qkey,
+            src_qp.pkey, original_class(), cfg.mtu_bytes,
+        )
+        src_hca.submit(original)
+        engine.run(until=round(100 * PS_PER_US))
+        assert dst_hca.delivered == 1
+
+        # Attacker captures and replays the exact packet (copy, same PSN,
+        # same valid tag).
+        import copy
+
+        replayed = copy.copy(original)
+        inject_raw(src_hca, replayed)
+        engine.run(until=round(200 * PS_PER_US))
+        assert dst_hca.delivered == 1
+        assert dst_hca.replay_drops == 1
+
+    def test_fresh_traffic_flows_with_replay_protection(self):
+        r = run_simulation(auth_cfg(replay_protection=True))
+        assert r.delivered > 100
+        assert r.drops.get("replay", 0) == 0
+
+
+def original_class():
+    from repro.iba.types import TrafficClass
+
+    return TrafficClass.BEST_EFFORT

@@ -1,0 +1,152 @@
+"""Fault injection: link failure semantics, switch crashes with key
+leakage, wiretap-to-forgery pipeline, recovery."""
+
+import pytest
+
+from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
+from repro.sim.engine import PS_PER_US
+from repro.sim.faults import FaultInjector
+from repro.sim.runner import build_experiment
+
+
+def experiment(**overrides):
+    base = dict(
+        sim_time_us=500.0, warmup_us=0.0, seed=8,
+        best_effort_load=0.25, enable_realtime=False,
+    )
+    base.update(overrides)
+    cfg = SimConfig(**base)
+    return cfg, *build_experiment(cfg)
+
+
+class TestLinkFailure:
+    def test_failed_link_stalls_its_source(self):
+        cfg, engine, fabric, sources, _, _, _ = experiment()
+        victim_hca = fabric.hca(1)
+        injector = FaultInjector(fabric)
+        injector.fail_link(victim_hca.out_link, at_ps=round(100 * PS_PER_US))
+        engine.run(until=cfg.sim_time_ps)
+        # node 1's queue backs up behind the dead link
+        assert sum(len(q) for q in victim_hca.send_queues) > 0
+        assert victim_hca.out_link.failed
+
+    def test_other_nodes_unaffected(self):
+        cfg, engine, fabric, *_ = experiment()
+        injector = FaultInjector(fabric)
+        injector.fail_link(fabric.hca(1).out_link, at_ps=round(50 * PS_PER_US))
+        engine.run(until=cfg.sim_time_ps)
+        # plenty of traffic still delivered fabric-wide
+        others = sum(h.delivered for lid, h in fabric.hcas.items())
+        assert others > 100
+
+    def test_restore_drains_the_backlog(self):
+        cfg, engine, fabric, *_ = experiment()
+        hca = fabric.hca(1)
+        injector = FaultInjector(fabric)
+        injector.fail_link(hca.out_link, at_ps=round(50 * PS_PER_US))
+        injector.restore_link(hca.out_link, at_ps=round(250 * PS_PER_US))
+        engine.run(until=cfg.sim_time_ps)
+        engine.run(until=cfg.sim_time_ps + 2_000_000_000)
+        assert not hca.out_link.failed
+        assert sum(len(q) for q in hca.send_queues) == 0
+
+    def test_send_on_failed_link_raises(self):
+        cfg, engine, fabric, *_ = experiment()
+        link = fabric.hca(1).out_link
+        link.fail()
+        from tests.conftest import make_packet
+
+        assert not link.can_send(0)
+        with pytest.raises(RuntimeError):
+            link.send(make_packet())
+
+
+class TestSwitchCrash:
+    def test_crash_fails_all_attached_links(self):
+        cfg, engine, fabric, *_ = experiment()
+        injector = FaultInjector(fabric)
+        injector.crash_switch((1, 1), at_ps=round(50 * PS_PER_US))
+        engine.run(until=cfg.sim_time_ps)
+        sw = fabric.switches[(1, 1)]
+        assert all(l.failed for l in sw.out_links if l is not None)
+        assert sw.name in injector.crashed
+
+    def test_crash_leaks_filter_table_keys(self):
+        """'it is possible that a switch crashes and leaks Keys' — with IF
+        enforcement the ingress table holds the node's P_Keys."""
+        cfg, engine, fabric, *_ = experiment(enforcement=EnforcementMode.IF)
+        leaks = []
+        injector = FaultInjector(fabric)
+        injector.crash_switch((0, 0), at_ps=round(100 * PS_PER_US),
+                              on_leak=leaks.append)
+        engine.run(until=cfg.sim_time_ps)
+        (leak,) = leaks
+        node1_partitions = fabric.sm.partitions_of(1)
+        assert {p.index for p in leak.pkeys} >= node1_partitions
+
+    def test_traffic_through_crashed_switch_stalls_at_sources(self):
+        cfg, engine, fabric, *_ = experiment()
+        baseline = build_experiment(cfg)
+        baseline_engine, baseline_fabric = baseline[0], baseline[1]
+        baseline_engine.run(until=cfg.sim_time_ps)
+        baseline_delivered = sum(h.delivered for h in baseline_fabric.hcas.values())
+
+        injector = FaultInjector(fabric)
+        injector.crash_switch((1, 1), at_ps=round(50 * PS_PER_US))
+        engine.run(until=cfg.sim_time_ps)
+        crashed_delivered = sum(h.delivered for h in fabric.hcas.values())
+        assert crashed_delivered < baseline_delivered
+
+
+class TestWireTap:
+    def test_tap_captures_plaintext_keys(self):
+        """'a packet can be captured on the link' — the tap reads P_Keys
+        and Q_Keys straight out of the headers."""
+        cfg, engine, fabric, *_ = experiment()
+        injector = FaultInjector(fabric)
+        link = fabric.hca(1).out_link
+        captured = injector.tap_link(link)
+        engine.run(until=cfg.sim_time_ps)
+        assert len(captured) > 0
+        pkeys, qkeys = injector.captured_keys(link.name)
+        assert any(p.index in fabric.sm.partitions_of(1) for p in pkeys)
+        assert len(qkeys) > 0
+
+    def test_captured_keys_enable_forgery_only_on_stock_iba(self):
+        """The full paper pipeline: tap the wire, steal the keys, forge —
+        delivered on stock IBA, rejected by the MAC fabric."""
+        from repro.core.attacks import forge_packet, inject_raw
+
+        outcomes = {}
+        for auth, keymgmt in (
+            (AuthMode.ICRC, KeyMgmtMode.NONE),
+            (AuthMode.UMAC, KeyMgmtMode.PARTITION),
+        ):
+            cfg, engine, fabric, *_ = experiment(
+                auth=auth, keymgmt=keymgmt, enable_best_effort=True,
+                sim_time_us=300.0,
+            )
+            injector = FaultInjector(fabric)
+            # tap some victim's injection link
+            victim = sorted(fabric.sm.partitions[1])[0]
+            link = fabric.hca(victim).out_link
+            captured = injector.tap_link(link)
+            engine.run(until=round(150 * PS_PER_US))
+            assert captured, "tap saw traffic"
+            sample = captured[0]
+            # attacker (other partition) replays the stolen credentials
+            attacker = sorted(fabric.sm.partitions[2])[0]
+            attacker_hca = fabric.hca(attacker)
+            attacker_qp = next(iter(attacker_hca.qps.values()))
+            target_hca = fabric.hca(int(sample.dst))
+            before = target_hca.delivered
+            pkt = forge_packet(
+                attacker_hca, attacker_qp, sample.dst, sample.bth.dest_qp,
+                sample.pkey, sample.qkey, cfg.mtu_bytes,
+            )
+            inject_raw(attacker_hca, pkt)
+            engine.run(until=round(300 * PS_PER_US))
+            # count only the forged delivery (legit traffic keeps flowing)
+            outcomes[auth] = target_hca.auth_failures
+        assert outcomes[AuthMode.ICRC] == 0  # forgery sailed through
+        assert outcomes[AuthMode.UMAC] >= 1  # forgery caught by the tag

@@ -1,0 +1,110 @@
+"""SIF end-to-end: trap → SM → switch registration → filtering → ageing,
+on a live fabric under attack; plus mode comparisons."""
+
+import pytest
+
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.runner import build_experiment, run_simulation
+
+
+def cfg_with(mode, **overrides):
+    base = dict(
+        sim_time_us=800.0, seed=21, num_attackers=1,
+        enforcement=mode, best_effort_load=0.3,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+class TestSifActivation:
+    def test_trap_chain_fires(self):
+        r = run_simulation(cfg_with(EnforcementMode.SIF))
+        assert r.traps_received > 0
+        assert r.traps_processed > 0
+        assert r.sif_activations >= 1
+        assert r.switch_filtered > 0
+
+    def test_attack_stopped_at_ingress_after_activation(self):
+        cfg = cfg_with(EnforcementMode.SIF)
+        engine, fabric, _, flooders, _, _ = build_experiment(cfg)
+        engine.run(until=cfg.sim_time_ps)
+        attacker_lid = flooders[0].hca.lid
+        ingress = fabric.ingress_switch(attacker_lid)
+        filt = ingress.filters[0]
+        assert filt.enabled or filt.deactivations > 0
+        assert filt.drops > 0
+        # after convergence, HCA-level violations stop growing: nearly all
+        # attack packets die at the ingress switch instead.
+        hca_drops = sum(h.pkey_violations for h in fabric.hcas.values())
+        assert filt.drops > hca_drops
+
+    def test_whitelist_mode_reached_with_one_partition_node(self):
+        """Random-P_Key attack + p=1 partition per node: one registration
+        flips the filter to whitelist and everything invalid dies."""
+        cfg = cfg_with(EnforcementMode.SIF)
+        engine, fabric, _, flooders, _, _ = build_experiment(cfg)
+        engine.run(until=cfg.sim_time_ps)
+        filt = fabric.ingress_switch(flooders[0].hca.lid).filters[0]
+        assert filt.whitelist_mode
+
+    def test_sif_ages_out_after_attack_stops(self):
+        cfg = cfg_with(
+            EnforcementMode.SIF,
+            attack_duty_cycle=0.1, attack_window_us=40.0,
+            sim_time_us=1200.0, sif_idle_timeout_us=100.0,
+        )
+        engine, fabric, _, flooders, _, _ = build_experiment(cfg)
+        engine.run(until=cfg.sim_time_ps)
+        # drain beyond the idle timeout
+        engine.run(until=cfg.sim_time_ps + 400_000_000)
+        filt = fabric.ingress_switch(flooders[0].hca.lid).filters[0]
+        assert filt.deactivations >= 1
+        assert not filt.enabled
+        assert filt.invalid_table == set()
+
+    def test_legit_traffic_unaffected_by_sif(self):
+        r = run_simulation(cfg_with(EnforcementMode.SIF))
+        assert r.cls("best_effort").count > 100  # legit still flows
+        assert r.drops.get("pkey", 0) >= 0
+
+
+class TestModeComparisons:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {
+            mode: run_simulation(cfg_with(mode))
+            for mode in EnforcementMode
+        }
+
+    def test_none_forwards_attack_to_victims(self, reports):
+        assert reports[EnforcementMode.NONE].switch_filtered == 0
+        assert reports[EnforcementMode.NONE].drops.get("pkey", 0) > 50
+
+    def test_filtering_modes_block_in_switches(self, reports):
+        for mode in (EnforcementMode.DPT, EnforcementMode.IF):
+            r = reports[mode]
+            assert r.switch_filtered > 0
+            # once filtering is on, (almost) nothing reaches HCA P_Key checks
+            assert r.drops.get("pkey", 0) == 0
+
+    def test_sif_blocks_most_after_convergence(self, reports):
+        r = reports[EnforcementMode.SIF]
+        leaked = r.drops.get("pkey", 0)
+        assert r.switch_filtered > leaked  # majority filtered at ingress
+
+    def test_lookup_counts_ordering(self, reports):
+        dpt = reports[EnforcementMode.DPT].switch_lookups
+        if_ = reports[EnforcementMode.IF].switch_lookups
+        sif = reports[EnforcementMode.SIF].switch_lookups
+        assert dpt > if_ > sif > 0
+
+    def test_dpt_pays_latency_per_hop(self, reports):
+        """DPT's per-hop lookups must show up as higher network latency than
+        IF's single ingress lookup (same seed: deterministic ordering)."""
+        dpt = reports[EnforcementMode.DPT].cls("best_effort").network_us
+        if_ = reports[EnforcementMode.IF].cls("best_effort").network_us
+        assert dpt > if_
+
+    def test_delivered_counts_similar(self, reports):
+        counts = [r.delivered for r in reports.values()]
+        assert max(counts) - min(counts) < max(counts) * 0.1

@@ -1,0 +1,102 @@
+"""SimConfig: Table 1 defaults, derived quantities, validation rules."""
+
+import pytest
+
+from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
+
+
+class TestTable1Defaults:
+    """The config's defaults ARE Table 1 of the paper."""
+
+    def test_link_bandwidth(self):
+        assert SimConfig().link_bandwidth_gbps == 2.5
+
+    def test_ports_per_switch(self):
+        assert SimConfig().ports_per_switch == 5
+
+    def test_vls_per_link(self):
+        assert SimConfig().num_vls == 16
+
+    def test_mtu(self):
+        assert SimConfig().mtu_bytes == 1024
+
+    def test_sixteen_nodes(self):
+        assert SimConfig().num_nodes == 16
+
+    def test_four_partitions(self):
+        assert SimConfig().num_partitions == 4
+
+
+class TestDerived:
+    def test_byte_time_at_2g5(self):
+        # 8 bits / 2.5 Gbps = 3.2 ns = 3200 ps
+        assert SimConfig().byte_time_ps == 3200
+
+    def test_byte_time_at_10g(self):
+        assert SimConfig(link_bandwidth_gbps=10.0).byte_time_ps == 800
+
+    def test_time_conversions(self):
+        cfg = SimConfig(sim_time_us=1500.5, warmup_us=2.25)
+        assert cfg.sim_time_ps == 1_500_500_000
+        assert cfg.warmup_ps == 2_250_000
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        SimConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"link_bandwidth_gbps": 0},
+            {"link_bandwidth_gbps": -1},
+            {"mesh_width": 0},
+            {"num_attackers": 17},
+            {"num_attackers": -1},
+            {"attack_duty_cycle": 1.5},
+            {"num_partitions": 0},
+            {"num_partitions": 20},
+            {"vl_buffer_packets": 0},
+            {"num_vls": 1},
+            {"mtu_bytes": 32},
+            {"mtu_bytes": 8192},
+            {"partition_layout": "diagonal"},
+            {"attacker_classes": ("warp-speed",)},
+            {"attack_dest_strategy": "broadcast"},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            SimConfig(**kwargs).validate()
+
+    def test_mac_requires_keymgmt(self):
+        with pytest.raises(ValueError):
+            SimConfig(auth=AuthMode.UMAC, keymgmt=KeyMgmtMode.NONE).validate()
+
+    def test_mac_with_keymgmt_ok(self):
+        SimConfig(auth=AuthMode.UMAC, keymgmt=KeyMgmtMode.PARTITION).validate()
+        SimConfig(auth=AuthMode.HMAC_SHA1, keymgmt=KeyMgmtMode.QP).validate()
+
+    def test_replace_validates(self):
+        cfg = SimConfig()
+        with pytest.raises(ValueError):
+            cfg.replace(num_partitions=0)
+
+    def test_replace_returns_new(self):
+        cfg = SimConfig()
+        new = cfg.replace(seed=99)
+        assert new.seed == 99
+        assert cfg.seed != 99
+
+
+class TestEnums:
+    def test_enforcement_values(self):
+        assert {m.value for m in EnforcementMode} == {"none", "dpt", "if", "sif"}
+
+    def test_auth_values(self):
+        assert {m.value for m in AuthMode} == {
+            "icrc", "umac", "hmac_md5", "hmac_sha1", "pmac", "stream", "aes_cmac",
+        }
+
+    def test_keymgmt_values(self):
+        assert {m.value for m in KeyMgmtMode} == {"none", "partition", "qp"}

@@ -1,0 +1,139 @@
+"""Discrete-event engine: ordering, determinism, cancellation, run bounds."""
+
+import pytest
+
+from repro.sim.engine import Engine, PS_PER_US
+
+
+class TestScheduling:
+    def test_time_order(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(300, hits.append, "c")
+        eng.schedule(100, hits.append, "a")
+        eng.schedule(200, hits.append, "b")
+        eng.run()
+        assert hits == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        """Same-time events fire in scheduling order — load-bearing for
+        reproducibility under heavy same-instant credit traffic."""
+        eng = Engine()
+        hits = []
+        for i in range(10):
+            eng.schedule(50, hits.append, i)
+        eng.run()
+        assert hits == list(range(10))
+
+    def test_priority_breaks_ties_before_seq(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(50, hits.append, "later", priority=1)
+        eng.schedule(50, hits.append, "sooner", priority=0)
+        eng.run()
+        assert hits == ["sooner", "later"]
+
+    def test_clock_advances_to_event_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(123, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [123]
+        assert eng.now == 123
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        eng = Engine()
+        eng.schedule(100, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_at(50, lambda: None)
+
+    def test_nested_scheduling(self):
+        eng = Engine()
+        hits = []
+
+        def outer():
+            hits.append(("outer", eng.now))
+            eng.schedule(10, inner)
+
+        def inner():
+            hits.append(("inner", eng.now))
+
+        eng.schedule(5, outer)
+        eng.run()
+        assert hits == [("outer", 5), ("inner", 15)]
+
+
+class TestRunControl:
+    def test_run_until_inclusive(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(100, hits.append, 1)
+        eng.schedule(200, hits.append, 2)
+        eng.schedule(201, hits.append, 3)
+        eng.run(until=200)
+        assert hits == [1, 2]
+        assert eng.now == 200
+
+    def test_run_until_advances_clock_when_idle(self):
+        eng = Engine()
+        eng.run(until=5000)
+        assert eng.now == 5000
+
+    def test_remaining_events_fire_on_next_run(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(300, hits.append, "late")
+        eng.run(until=100)
+        assert hits == []
+        eng.run()
+        assert hits == ["late"]
+
+    def test_max_events(self):
+        eng = Engine()
+        hits = []
+        for i in range(10):
+            eng.schedule(i + 1, hits.append, i)
+        eng.run(max_events=3)
+        assert hits == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for i in range(5):
+            eng.schedule(i + 1, lambda: None)
+        eng.run()
+        assert eng.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        hits = []
+        ev = eng.schedule(100, hits.append, "cancelled")
+        eng.schedule(200, hits.append, "kept")
+        ev.cancel()
+        eng.run()
+        assert hits == ["kept"]
+
+    def test_peek_skips_cancelled(self):
+        eng = Engine()
+        ev = eng.schedule(100, lambda: None)
+        eng.schedule(200, lambda: None)
+        ev.cancel()
+        assert eng.peek_time() == 200
+
+
+class TestUnits:
+    def test_now_us(self):
+        eng = Engine()
+        eng.schedule(int(2.5 * PS_PER_US), lambda: None)
+        eng.run()
+        assert eng.now_us == pytest.approx(2.5)

@@ -1,0 +1,130 @@
+"""Metrics: Welford accumulator correctness, merging, per-class collection,
+and time-windowed exclusion (the 'excluding the attacking period' analysis)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.sim.engine import PS_PER_US
+from repro.sim.metrics import LatencySample, MetricsCollector, StatAccumulator
+
+
+def sample(created, injected, delivered, cls="best_effort", src=1, dst=2):
+    return LatencySample(
+        created=created, injected=injected, delivered=delivered,
+        traffic_class=cls, source=src, destination=dst,
+    )
+
+
+class TestStatAccumulator:
+    def test_empty(self):
+        acc = StatAccumulator()
+        assert acc.count == 0
+        assert acc.mean == 0.0
+        assert acc.stddev == 0.0
+
+    def test_single_value(self):
+        acc = StatAccumulator()
+        acc.add(5.0)
+        assert acc.mean == 5.0
+        assert acc.variance == 0.0
+        assert acc.min == acc.max == 5.0
+
+    def test_matches_statistics_module(self):
+        data = [1.5, 2.5, 42.0, -3.0, 7.7, 9.1, 0.0, 1e6]
+        acc = StatAccumulator()
+        for x in data:
+            acc.add(x)
+        assert acc.mean == pytest.approx(statistics.fmean(data))
+        assert acc.stddev == pytest.approx(statistics.stdev(data))
+        assert acc.min == min(data)
+        assert acc.max == max(data)
+
+    def test_merge_equals_combined(self):
+        data1 = [1.0, 2.0, 3.0, 10.0]
+        data2 = [100.0, 200.0, -5.0]
+        a, b, combined = StatAccumulator(), StatAccumulator(), StatAccumulator()
+        for x in data1:
+            a.add(x)
+            combined.add(x)
+        for x in data2:
+            b.add(x)
+            combined.add(x)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+        assert a.min == combined.min and a.max == combined.max
+
+    def test_merge_empty_sides(self):
+        a = StatAccumulator()
+        b = StatAccumulator()
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 3.0
+        b.merge(StatAccumulator())
+        assert b.count == 1
+
+    def test_numerical_stability_large_offset(self):
+        # Welford must not lose precision with a large common offset.
+        acc = StatAccumulator()
+        for x in (1e9 + 1, 1e9 + 2, 1e9 + 3):
+            acc.add(x)
+        assert acc.variance == pytest.approx(1.0)
+
+
+class TestLatencySample:
+    def test_derived_times(self):
+        s = sample(created=100, injected=250, delivered=900)
+        assert s.queuing_ps == 150
+        assert s.network_ps == 650
+
+
+class TestMetricsCollector:
+    def test_per_class_separation(self):
+        m = MetricsCollector()
+        m.record_delivery(sample(0, 10, 100, cls="realtime"))
+        m.record_delivery(sample(0, 30, 100, cls="best_effort"))
+        assert m.classes() == ["best_effort", "realtime"]
+        assert m.queuing_us("realtime") == pytest.approx(10 / PS_PER_US)
+        assert m.queuing_us("best_effort") == pytest.approx(30 / PS_PER_US)
+
+    def test_unknown_class_zero(self):
+        m = MetricsCollector()
+        assert m.queuing_us("nope") == 0.0
+        assert m.network_us("nope") == 0.0
+
+    def test_total_delay(self):
+        m = MetricsCollector()
+        m.record_delivery(sample(0, 2 * PS_PER_US, 5 * PS_PER_US))
+        assert m.total_delay_us("best_effort") == pytest.approx(5.0)
+
+    def test_drop_accounting(self):
+        m = MetricsCollector()
+        m.record_drop("pkey")
+        m.record_drop("pkey")
+        m.record_drop("auth")
+        assert m.dropped == {"pkey": 2, "auth": 1}
+
+    def test_windowed_exclusion(self):
+        m = MetricsCollector()
+        # injected at 10us and 60us; exclude [50us, 100us)
+        m.record_delivery(sample(0, 10 * PS_PER_US, 20 * PS_PER_US))
+        m.record_delivery(sample(0, 60 * PS_PER_US, 200 * PS_PER_US))
+        q, n = m.windowed("best_effort", exclude=[(50 * PS_PER_US, 100 * PS_PER_US)])
+        assert q.count == 1
+        assert q.mean == pytest.approx(10 * PS_PER_US)
+
+    def test_windowed_requires_samples(self):
+        m = MetricsCollector(keep_samples=False)
+        m.record_delivery(sample(0, 1, 2))
+        with pytest.raises(RuntimeError):
+            m.windowed("best_effort")
+
+    def test_keep_samples_false_still_aggregates(self):
+        m = MetricsCollector(keep_samples=False)
+        m.record_delivery(sample(0, 10, 100))
+        assert m.delivered == 1
+        assert m.samples == []
+        assert m.queuing_us("best_effort") > 0

@@ -1,0 +1,148 @@
+"""Experiment runner wiring: partitions, QPs, key managers, auth services,
+attacker selection, report fields."""
+
+import pytest
+
+from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
+from repro.sim.runner import SimReport, build_experiment, estimate_rtt_ps, run_simulation
+
+
+def build(**overrides):
+    base = dict(sim_time_us=150.0, warmup_us=0.0, seed=4,
+                enable_realtime=False, enable_best_effort=False)
+    base.update(overrides)
+    cfg = SimConfig(**base)
+    return cfg, *build_experiment(cfg)
+
+
+class TestPartitionWiring:
+    def test_every_node_in_exactly_one_partition(self):
+        cfg, engine, fabric, *_ = build()
+        seen = {}
+        for index, members in fabric.sm.partitions.items():
+            for lid in members:
+                assert lid not in seen, "node in two partitions"
+                seen[lid] = index
+        assert set(seen) == set(fabric.lids)
+
+    def test_partition_count(self):
+        cfg, engine, fabric, *_ = build(num_partitions=4)
+        assert len(fabric.sm.partitions) == 4
+        assert all(len(m) == 4 for m in fabric.sm.partitions.values())
+
+    def test_uneven_partition_split(self):
+        cfg, engine, fabric, *_ = build(
+            mesh_width=3, mesh_height=3, num_partitions=2
+        )
+        sizes = sorted(len(m) for m in fabric.sm.partitions.values())
+        assert sizes == [4, 5]
+
+    def test_quadrant_layout_contiguous(self):
+        cfg, engine, fabric, *_ = build(partition_layout="quadrant")
+        # strided over sorted lids: partition i holds lids i+1, i+5, i+9, i+13
+        assert fabric.sm.partitions[1] == {1, 5, 9, 13}
+
+    def test_random_layout_seed_dependent(self):
+        _, _, f1, *_ = build(seed=1)
+        _, _, f2, *_ = build(seed=2)
+        assert f1.sm.partitions != f2.sm.partitions
+
+    def test_hcas_hold_their_pkeys(self):
+        cfg, engine, fabric, *_ = build()
+        for index, members in fabric.sm.partitions.items():
+            for lid in members:
+                qp = next(iter(fabric.hca(lid).qps.values()))
+                assert qp.pkey.index == index
+                assert fabric.hca(lid).keys.has_matching_pkey(qp.pkey)
+
+
+class TestSecurityWiring:
+    def test_icrc_mode_has_no_key_manager(self):
+        cfg, engine, fabric, sources, flooders, windows, keymgr = build()
+        assert keymgr is None
+        from repro.core.auth import IcrcAuthService
+
+        assert isinstance(fabric.hca(1).auth, IcrcAuthService)
+
+    def test_partition_keys_predistributed(self):
+        cfg, engine, fabric, *_rest, keymgr = build(
+            auth=AuthMode.UMAC, keymgmt=KeyMgmtMode.PARTITION
+        )
+        for index, members in fabric.sm.partitions.items():
+            for lid in members:
+                assert index in keymgr.node_tables[lid]
+
+    def test_qp_mode_starts_empty(self):
+        cfg, engine, fabric, *_rest, keymgr = build(
+            auth=AuthMode.UMAC, keymgmt=KeyMgmtMode.QP
+        )
+        assert keymgr.known_pairs() == 0
+
+    def test_rtt_estimator_scales_with_distance(self):
+        cfg, engine, fabric, *_ = build()
+        near = estimate_rtt_ps(fabric, 1, 2)
+        far = estimate_rtt_ps(fabric, 1, 16)
+        assert far > near > 0
+
+    def test_replay_flag_propagates(self):
+        cfg, engine, fabric, *_ = build(
+            auth=AuthMode.UMAC, keymgmt=KeyMgmtMode.PARTITION, replay_protection=True
+        )
+        assert all(h.replay_protection for h in fabric.hcas.values())
+
+
+class TestAttackerWiring:
+    def test_attacker_count_and_distinctness(self):
+        cfg, engine, fabric, sources, flooders, windows, _ = build(
+            num_attackers=3, enable_best_effort=True
+        )
+        assert len(flooders) == 3
+        lids = {int(f.hca.lid) for f in flooders}
+        assert len(lids) == 3
+
+    def test_attackers_have_no_legit_sources(self):
+        cfg, engine, fabric, sources, flooders, windows, _ = build(
+            num_attackers=2, enable_best_effort=True
+        )
+        attacker_lids = {int(f.hca.lid) for f in flooders}
+        source_lids = {int(s.hca.lid) for s in sources}
+        assert attacker_lids.isdisjoint(source_lids)
+
+    def test_peers_exclude_attackers(self):
+        cfg, engine, fabric, sources, flooders, windows, _ = build(
+            num_attackers=2, enable_best_effort=True
+        )
+        attacker_lids = {int(f.hca.lid) for f in flooders}
+        for src in sources:
+            assert attacker_lids.isdisjoint({int(p.lid) for p in src.peers})
+
+    def test_no_windows_without_attackers(self):
+        cfg, engine, fabric, sources, flooders, windows, _ = build()
+        assert windows == []
+
+
+class TestReport:
+    def test_summary_renders(self):
+        report = run_simulation(SimConfig(sim_time_us=150.0, seed=4))
+        text = report.summary()
+        assert "queuing" in text and "network" in text
+
+    def test_cls_missing_class_is_zero(self):
+        report = run_simulation(
+            SimConfig(sim_time_us=150.0, seed=4, enable_realtime=False)
+        )
+        assert report.cls("realtime").count == 0
+        assert report.cls("realtime").total_us == 0.0
+
+    def test_keep_samples_false_drops_metrics_ref(self):
+        report = run_simulation(
+            SimConfig(sim_time_us=150.0, seed=4, keep_samples=False)
+        )
+        assert report.metrics is None
+        with pytest.raises(RuntimeError):
+            report.excluding_attack_windows("best_effort")
+
+    def test_wall_and_events_populated(self):
+        report = run_simulation(SimConfig(sim_time_us=150.0, seed=4))
+        assert report.events_processed > 0
+        assert report.wall_seconds > 0

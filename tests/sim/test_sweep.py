@@ -1,0 +1,84 @@
+"""Sweep driver: grid expansion, execution, metric aggregation."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.sweep import Sweep, network_us, queuing_us, total_us
+
+
+@pytest.fixture
+def base():
+    return SimConfig(
+        mesh_width=2, mesh_height=2, num_partitions=1,
+        sim_time_us=150.0, warmup_us=10.0, best_effort_load=0.2,
+        enable_realtime=False, keep_samples=False,
+    )
+
+
+class TestGrid:
+    def test_point_expansion(self, base):
+        sweep = Sweep(base, {"best_effort_load": [0.2, 0.3], "num_attackers": [0, 1]})
+        pts = sweep.points()
+        assert len(pts) == 4
+        assert {"best_effort_load": 0.2, "num_attackers": 0} in pts
+
+    def test_deterministic_order(self, base):
+        sweep = Sweep(base, {"b": [1], "a": [2]})
+        # keys sorted: a before b in every dict
+        assert list(sweep.points()[0]) == ["a", "b"]
+
+    def test_empty_grid_single_point(self, base):
+        assert Sweep(base, {}).points() == [{}]
+
+
+class TestExecution:
+    def test_runs_all_points(self, base):
+        sweep = Sweep(base, {"best_effort_load": [0.2, 0.3]})
+        results = sweep.run()
+        assert len(results) == 2
+        assert all(len(p.reports) == 1 for p in results)
+        assert all(p.reports[0].delivered > 0 for p in results)
+
+    def test_seed_averaging(self, base):
+        sweep = Sweep(base, {"best_effort_load": [0.2]}, seeds=(1, 2, 3))
+        (point,) = sweep.run()
+        assert len(point.reports) == 3
+        individual = [queuing_us("best_effort")(r) for r in point.reports]
+        assert point.mean(queuing_us("best_effort")) == pytest.approx(
+            sum(individual) / 3
+        )
+
+    def test_invalid_override_raises(self, base):
+        sweep = Sweep(base, {"num_partitions": [0]})
+        with pytest.raises(ValueError):
+            sweep.run()
+
+    def test_results_before_run_raises(self, base):
+        with pytest.raises(RuntimeError):
+            Sweep(base, {}).results
+
+    def test_progress_callback(self, base):
+        lines = []
+        Sweep(base, {"best_effort_load": [0.2, 0.25]}).run(progress=lines.append)
+        assert len(lines) == 2
+
+
+class TestTable:
+    def test_rows_carry_overrides_and_metrics(self, base):
+        sweep = Sweep(base, {"best_effort_load": [0.2, 0.3]})
+        sweep.run()
+        rows = sweep.table({
+            "q": queuing_us("best_effort"),
+            "n": network_us("best_effort"),
+            "total": total_us("best_effort"),
+        })
+        assert len(rows) == 2
+        for row in rows:
+            assert row["total"] == pytest.approx(row["q"] + row["n"])
+            assert row["best_effort_load"] in (0.2, 0.3)
+
+    def test_load_affects_queuing(self, base):
+        sweep = Sweep(base, {"best_effort_load": [0.1, 0.5]})
+        sweep.run()
+        rows = sweep.table({"q": queuing_us("best_effort")})
+        assert rows[1]["q"] >= rows[0]["q"]

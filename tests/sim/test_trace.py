@@ -1,0 +1,69 @@
+"""Tracer: lifecycle capture on a live fabric, filtering, timelines."""
+
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.runner import build_experiment
+from repro.sim.trace import Tracer, attach_hca_tracer, attach_switch_tracer
+
+
+def small_run(tracer, enforcement=EnforcementMode.NONE, attackers=0):
+    cfg = SimConfig(
+        mesh_width=2, mesh_height=2, num_partitions=1,
+        sim_time_us=300.0, warmup_us=0.0, seed=2,
+        best_effort_load=0.2, enable_realtime=False,
+        num_attackers=attackers, enforcement=enforcement,
+    )
+    engine, fabric, sources, flooders, _, _ = build_experiment(cfg)
+    for hca in fabric.hcas.values():
+        attach_hca_tracer(hca, tracer)
+    for sw in fabric.all_switches():
+        attach_switch_tracer(sw, tracer)
+    engine.run(until=cfg.sim_time_ps)
+    return fabric
+
+
+class TestLifecycleCapture:
+    def test_full_lifecycle_recorded(self):
+        tracer = Tracer()
+        fabric = small_run(tracer)
+        kinds = tracer.kinds()
+        assert kinds.get("created", 0) > 0
+        assert kinds.get("injected", 0) > 0
+        assert kinds.get("switch_rx", 0) > 0
+        assert kinds.get("delivered", 0) > 0
+
+    def test_packet_timeline_ordered(self):
+        tracer = Tracer()
+        small_run(tracer)
+        delivered_ids = [e.packet_id for e in tracer.events if e.kind == "delivered"]
+        pid = delivered_ids[0]
+        events = tracer.for_packet(pid)
+        times = [e.time_ps for e in events]
+        assert times == sorted(times)
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "created"
+        assert kinds[-1] == "delivered"
+        assert "injected" in kinds and "switch_rx" in kinds
+
+    def test_timeline_renders(self):
+        tracer = Tracer()
+        small_run(tracer)
+        pid = tracer.events[0].packet_id
+        text = tracer.timeline(pid)
+        assert "created" in text and "us" in text
+
+    def test_filtered_events_under_sif(self):
+        tracer = Tracer()
+        small_run(tracer, enforcement=EnforcementMode.IF, attackers=1)
+        assert tracer.kinds().get("filtered", 0) > 0
+
+    def test_watch_filter(self):
+        tracer = Tracer(watch={999_999_999})
+        small_run(tracer)
+        assert tracer.events == []
+
+    def test_delivery_count_matches_fabric(self):
+        tracer = Tracer()
+        fabric = small_run(tracer)
+        assert tracer.kinds().get("delivered", 0) == sum(
+            h.delivered for h in fabric.hcas.values()
+        )

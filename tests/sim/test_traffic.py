@@ -1,0 +1,146 @@
+"""Traffic generators: rates, packet construction, realtime backoff."""
+
+import pytest
+
+from repro.iba.hca import HCA
+from repro.iba.keys import PKey, QKey
+from repro.iba.link import Link
+from repro.iba.packet import LOCAL_RC_OVERHEAD, LOCAL_UD_OVERHEAD
+from repro.iba.qp import QueuePair
+from repro.iba.types import LID, QPN, ServiceType, TrafficClass
+from repro.sim.engine import Engine, PS_PER_US
+from repro.sim.metrics import MetricsCollector
+from repro.sim.rng import RngStreams
+from repro.sim.traffic import BestEffortSource, Peer, RealtimeSource, make_ud_packet
+
+BYTE_PS = 3200
+MTU = 1024
+
+
+class Sink:
+    """Consumes packets immediately and returns the credit (ideal receiver)."""
+
+    def __init__(self):
+        self.received = []
+        self.link = None
+
+    def receive(self, packet, in_port):
+        self.received.append(packet)
+        if self.link is not None:
+            self.link.return_credit(packet.vl)
+
+
+def make_sender(engine, credits=64):
+    hca = HCA(engine, LID(1), num_vls=2, vl_buffer_packets=credits,
+              processing_delay_ns=0.0, credit_return_delay_ns=0.0,
+              metrics=MetricsCollector(), warmup_ps=0)
+    sink = Sink()
+    link = Link(engine, "l", BYTE_PS, sink, 0, 2, credits)
+    sink.link = link
+    hca.attach_out_link(link)
+    qp = QueuePair(qpn=QPN(0x101), service=ServiceType.UNRELIABLE_DATAGRAM,
+                   pkey=PKey(0x8001), qkey=QKey(7))
+    hca.add_qp(qp)
+    return hca, qp, sink
+
+
+PEERS = [Peer(LID(2), QPN(0x102), QKey(0x42))]
+
+
+class TestMakeUdPacket:
+    def test_wire_length_includes_overhead(self, engine):
+        hca, qp, _ = make_sender(engine)
+        p = make_ud_packet(hca, qp, LID(2), QPN(5), QKey(1), PKey(0x8001),
+                           TrafficClass.BEST_EFFORT, MTU)
+        assert p.wire_length == MTU + LOCAL_UD_OVERHEAD
+
+    def test_psn_advances_per_packet(self, engine):
+        hca, qp, _ = make_sender(engine)
+        p1 = make_ud_packet(hca, qp, LID(2), QPN(5), QKey(1), PKey(0x8001),
+                            TrafficClass.BEST_EFFORT, MTU)
+        p2 = make_ud_packet(hca, qp, LID(2), QPN(5), QKey(1), PKey(0x8001),
+                            TrafficClass.BEST_EFFORT, MTU)
+        assert p2.bth.psn == p1.bth.psn + 1
+
+    def test_vl_follows_class(self, engine):
+        hca, qp, _ = make_sender(engine)
+        rt = make_ud_packet(hca, qp, LID(2), QPN(5), QKey(1), PKey(0x8001),
+                            TrafficClass.REALTIME, MTU)
+        assert rt.vl == TrafficClass.REALTIME.vl
+
+    def test_payload_defaults_compact_but_distinct(self, engine):
+        hca, qp, _ = make_sender(engine)
+        p1 = make_ud_packet(hca, qp, LID(2), QPN(5), QKey(1), PKey(0x8001),
+                            TrafficClass.BEST_EFFORT, MTU)
+        p2 = make_ud_packet(hca, qp, LID(3), QPN(5), QKey(1), PKey(0x8001),
+                            TrafficClass.BEST_EFFORT, MTU)
+        assert p1.payload != p2.payload  # destination + psn baked in
+
+
+class TestBestEffortSource:
+    def test_rate_matches_load(self, engine):
+        hca, qp, sink = make_sender(engine)
+        horizon = round(3000 * PS_PER_US)
+        src = BestEffortSource(
+            engine, hca, qp, PEERS, PKey(0x8001), load=0.4,
+            mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+            rng=RngStreams(0).get("be"), stop_at_ps=horizon,
+        )
+        src.start()
+        engine.run(until=horizon)
+        wire_time = (MTU + LOCAL_UD_OVERHEAD) * BYTE_PS
+        expected = 0.4 * horizon / wire_time
+        assert expected * 0.8 < src.generated < expected * 1.2
+
+    def test_stops_at_horizon(self, engine):
+        hca, qp, _ = make_sender(engine)
+        src = BestEffortSource(
+            engine, hca, qp, PEERS, PKey(0x8001), load=0.5,
+            mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+            rng=RngStreams(0).get("be"), stop_at_ps=round(100 * PS_PER_US),
+        )
+        src.start()
+        engine.run()  # run to exhaustion: generation must terminate
+        assert engine.now < 200 * PS_PER_US + 10**7
+
+    def test_validation(self, engine):
+        hca, qp, _ = make_sender(engine)
+        with pytest.raises(ValueError):
+            BestEffortSource(engine, hca, qp, [], PKey(1), 0.4, MTU, BYTE_PS,
+                             RngStreams(0).get("x"), 10**9)
+        with pytest.raises(ValueError):
+            BestEffortSource(engine, hca, qp, PEERS, PKey(1), 0.0, MTU, BYTE_PS,
+                             RngStreams(0).get("x"), 10**9)
+
+
+class TestRealtimeSource:
+    def test_fixed_interval_rate(self, engine):
+        hca, qp, _ = make_sender(engine)
+        horizon = round(2000 * PS_PER_US)
+        src = RealtimeSource(
+            engine, hca, qp, PEERS, PKey(0x8001), load=0.2,
+            mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+            rng=RngStreams(1).get("rt"), stop_at_ps=horizon,
+        )
+        src.start()
+        engine.run(until=horizon)
+        wire_time = (MTU + LOCAL_UD_OVERHEAD) * BYTE_PS
+        expected = 0.2 * horizon / wire_time
+        assert abs(src.generated - expected) <= 2
+
+    def test_backoff_throttles_when_queue_deep(self, engine):
+        """The paper's realtime semantics: skip slots instead of queueing
+        when the fabric can't keep up."""
+        hca, qp, _ = make_sender(engine, credits=1)
+        hca.out_link.credits[TrafficClass.REALTIME.vl] = 0  # starve the VL
+        horizon = round(1000 * PS_PER_US)
+        src = RealtimeSource(
+            engine, hca, qp, PEERS, PKey(0x8001), load=0.5,
+            mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+            rng=RngStreams(1).get("rt"), stop_at_ps=horizon,
+            backoff_queue=3,
+        )
+        src.start()
+        engine.run(until=horizon)
+        assert src.throttled > 0
+        assert hca.queue_depth(TrafficClass.REALTIME) <= 3

@@ -1,0 +1,70 @@
+"""Pins for the calibration constants EXPERIMENTS.md documents.
+
+If someone retunes an experiment preset, these fail loudly so the
+paper-vs-measured tables get regenerated alongside."""
+
+import pytest
+
+from repro.experiments.fig1_dos import FIG1_BACKLOG, FIG1_LOAD, fig1_config
+from repro.experiments.fig5_enforcement import INPUT_LOADS, LOAD_SCALE, fig5_config
+from repro.experiments.fig6_auth import fig6_config
+from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode
+
+
+class TestFig1Preset:
+    def test_constants(self):
+        assert FIG1_LOAD == 0.5
+        assert FIG1_BACKLOG == 128
+
+    def test_config_shape(self):
+        cfg = fig1_config("realtime", attackers=3)
+        assert cfg.count_attack_in_metrics is True
+        assert cfg.attack_duty_cycle == 1.0
+        assert cfg.attacker_classes == ("realtime",)
+        assert cfg.enable_best_effort is False
+        assert cfg.vl_buffer_packets == 4
+
+
+class TestFig5Preset:
+    def test_constants(self):
+        assert LOAD_SCALE == 0.75
+        assert INPUT_LOADS == (0.40, 0.50, 0.60, 0.70)
+
+    def test_config_shape(self):
+        cfg = fig5_config(EnforcementMode.SIF, 0.4)
+        assert cfg.pkey_lookup_ns == 250.0
+        assert cfg.attack_duty_cycle == 0.01  # "probability of DoS ... 1%"
+        assert cfg.num_attackers == 4
+        assert cfg.attack_dest_strategy == "victim"
+        assert cfg.sif_idle_timeout_us == 3000.0
+        assert cfg.count_attack_in_metrics is False  # "non-attacking traffic"
+        assert cfg.best_effort_load == pytest.approx(0.4 * LOAD_SCALE)
+
+
+class TestFig6Preset:
+    def test_with_key_uses_umac_qp(self):
+        cfg = fig6_config(True, 0.4)
+        assert cfg.auth is AuthMode.UMAC
+        assert cfg.keymgmt is KeyMgmtMode.QP
+        assert cfg.num_attackers == 0
+
+    def test_no_key_is_stock(self):
+        cfg = fig6_config(False, 0.4)
+        assert cfg.auth is AuthMode.ICRC
+        assert cfg.keymgmt is KeyMgmtMode.NONE
+
+    def test_partition_variant(self):
+        cfg = fig6_config(True, 0.4, keymgmt="partition")
+        assert cfg.keymgmt is KeyMgmtMode.PARTITION
+
+
+class TestBenchmarkFilesImportable:
+    def test_all_bench_modules_import(self):
+        import importlib
+        import pathlib
+
+        bench_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+        names = sorted(p.stem for p in bench_dir.glob("bench_*.py"))
+        assert len(names) >= 10  # every table/figure + ablations + section 7
+        for name in names:
+            importlib.import_module(f"benchmarks.{name}")

@@ -1,0 +1,70 @@
+"""CLI: argument parsing, command dispatch, output contents."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.attackers == 0
+        assert args.enforcement == "none"
+
+    def test_invalid_enforcement_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--enforcement", "magic"])
+
+    def test_fig1_panel_choices(self):
+        args = build_parser().parse_args(["fig1", "--panel", "realtime"])
+        assert args.panel == "realtime"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--panel", "management"])
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        rc = main(["run", "--sim-time-us", "150", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best_effort" in out and "queuing" in out
+        assert "delivered=" in out
+
+    def test_run_with_attack_and_sif(self, capsys):
+        rc = main([
+            "run", "--sim-time-us", "300", "--attackers", "1",
+            "--enforcement", "sif",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "switch_filtered=" in out
+
+    def test_run_auth_defaults_keymgmt(self, capsys):
+        rc = main(["run", "--sim-time-us", "150", "--auth", "umac"])
+        assert rc == 0
+        assert "auth=umac" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "DPT" in out and "SIF" in out
+
+    def test_table4_no_measure(self, capsys):
+        assert main(["table4", "--no-measure"]) == 0
+        out = capsys.readouterr().out
+        assert "UMAC-2/4" in out and "11.20" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "BREACH" in out and "safe" in out
+
+    def test_fig1_single_panel(self, capsys):
+        assert main(["fig1", "--panel", "realtime", "--sim-time-us", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1(a)" in out

@@ -1,0 +1,71 @@
+"""Experiment formatters: the printed artifacts carry the paper's rows."""
+
+import pytest
+
+from repro.experiments.fig1_dos import Fig1Point, format_fig1
+from repro.experiments.fig5_enforcement import Fig5Bar, format_fig5
+from repro.experiments.fig6_auth import Fig6Point, format_fig6
+from repro.experiments.table2_overhead import format_table2, run_table2
+from repro.experiments.table4_macs import Table4Row, format_table4
+
+
+class TestFig1Formatter:
+    def test_both_panels_titled(self):
+        pts = [Fig1Point(0, 5.0, 20.0, 100), Fig1Point(4, 100.0, 25.0, 100)]
+        a = format_fig1("realtime", pts)
+        b = format_fig1("best_effort", pts)
+        assert "Figure 1(a)" in a and "realtime" in a
+        assert "Figure 1(b)" in b and "best-effort" in b
+
+    def test_rows_contain_values(self):
+        pts = [Fig1Point(2, 33.25, 27.5, 10)]
+        out = format_fig1("realtime", pts)
+        assert "33.25" in out and "27.50" in out and " 2 " in out + " "
+
+    def test_unknown_panel(self):
+        with pytest.raises(KeyError):
+            format_fig1("management", [])
+
+
+class TestFig5Formatter:
+    def test_columns(self):
+        bars = [
+            Fig5Bar("none", 0.4, 2.0, 19.0, 5.0, 6.0, 0, 0),
+            Fig5Bar("sif", 0.4, 1.0, 18.0, 2.0, 6.0, 100, 2),
+        ]
+        out = format_fig5(bars)
+        assert "queuing" in out and "sw drops" in out
+        assert "none" in out and "sif" in out
+        assert "40%" in out
+
+    def test_total_property(self):
+        bar = Fig5Bar("if", 0.5, 10.0, 20.0, 1.0, 1.0, 5, 0)
+        assert bar.total_us == 30.0
+
+
+class TestFig6Formatter:
+    def test_rows(self):
+        pts = [
+            Fig6Point(0.4, False, 1.0, 19.0, 2.0, 6.0, 0),
+            Fig6Point(0.4, True, 1.1, 19.2, 2.1, 6.1, 48),
+        ]
+        out = format_fig6(pts)
+        assert "No" in out and "With" in out
+        assert "48" in out
+
+
+class TestTableFormatters:
+    def test_table2_sections(self):
+        out = format_table2(run_table2())
+        assert out.count("[") >= 4  # four evaluated cases
+        assert "mem/switch" in out
+
+    def test_table4_forgery_column(self):
+        rows = [
+            Table4Row("CRC", 0.25, 11.2, 1.0, None),
+            Table4Row("UMAC-2/4", 0.7, 4.0, 2.0**-30, 27.0),
+        ]
+        out = format_table4(rows)
+        assert "2^-30" in out
+        assert "11.20" in out
+        assert "UMAC @200 MHz" in out
