@@ -21,17 +21,30 @@ from repro.sim.config import EnforcementMode
 from repro.sim.runner import run_simulation
 from repro.experiments.fig5_enforcement import fig5_config
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, sweep_cache, sweep_workers
 
 SIM_US = 6000.0
 
 
 def test_fig5_bars(benchmark):
+    from repro.analysis.charts import sweep_progress_chart
+
+    events = []
     bars = benchmark.pedantic(
-        lambda: run_fig5(sim_time_us=SIM_US, seeds=(11, 12)), rounds=1, iterations=1
+        lambda: run_fig5(
+            sim_time_us=SIM_US,
+            seeds=(11, 12),
+            workers=sweep_workers(),
+            cache=sweep_cache(),
+            progress=events.append,
+        ),
+        rounds=1,
+        iterations=1,
     )
     emit("")
     emit(format_fig5(bars))
+    emit("")
+    emit(sweep_progress_chart(events, title=f"Fig 5 sweep ({sweep_workers()} workers)"))
 
     by = {(b.mode, b.input_load): b for b in bars}
     for load in (0.4, 0.5, 0.6, 0.7):

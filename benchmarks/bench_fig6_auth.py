@@ -9,17 +9,29 @@ zero steady-state exchange cost.
 from repro.experiments.fig6_auth import fig6_config, format_fig6, run_fig6
 from repro.sim.runner import run_simulation
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, sweep_cache, sweep_workers
 
 SIM_US = 2500.0
 
 
 def test_fig6_rows(benchmark):
+    from repro.analysis.charts import sweep_progress_chart
+
+    events = []
     points = benchmark.pedantic(
-        lambda: run_fig6(sim_time_us=SIM_US), rounds=1, iterations=1
+        lambda: run_fig6(
+            sim_time_us=SIM_US,
+            workers=sweep_workers(),
+            cache=sweep_cache(),
+            progress=events.append,
+        ),
+        rounds=1,
+        iterations=1,
     )
     emit("")
     emit(format_fig6(points))
+    emit("")
+    emit(sweep_progress_chart(events, title=f"Fig 6 sweep ({sweep_workers()} workers)"))
 
     by = {(p.input_load, p.with_key): p for p in points}
     for load in (0.4, 0.5, 0.6, 0.7):

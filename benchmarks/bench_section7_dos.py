@@ -12,22 +12,25 @@ possible in IBA":
 """
 
 from repro.sim.config import EnforcementMode, SimConfig
-from repro.sim.runner import run_simulation
+from repro.sim.sweep import Sweep
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, sweep_cache, sweep_workers
 
 
 def test_valid_pkey_flood_defeats_ingress_filtering(benchmark):
-    def run(valid):
-        cfg = SimConfig(
-            sim_time_us=800.0, seed=7, num_attackers=1,
-            enforcement=EnforcementMode.SIF, attack_valid_pkey=valid,
-            best_effort_load=0.3, keep_samples=False,
-        )
-        return run_simulation(cfg)
+    base = SimConfig(
+        sim_time_us=800.0, seed=7, num_attackers=1,
+        enforcement=EnforcementMode.SIF,
+        best_effort_load=0.3, keep_samples=False,
+    )
+    sweep = Sweep(base, {"attack_valid_pkey": [False, True]}, seeds=(7,))
 
-    invalid_r = run(False)
-    valid_r = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    points = benchmark.pedantic(
+        lambda: sweep.run(workers=sweep_workers(), cache=sweep_cache()),
+        rounds=1,
+        iterations=1,
+    )
+    invalid_r, valid_r = (p.reports[0] for p in points)
     emit("")
     emit("Section 7 — valid-P_Key flood vs SIF")
     emit(f"  random P_Keys: {invalid_r.switch_filtered} filtered at ingress, "

@@ -7,9 +7,30 @@ shows the paper artifacts inline (fd-level capture would otherwise swallow
 mid-test prints).
 """
 
+import os
+
 import pytest
 
 _EMITTED: list[str] = []
+
+
+def sweep_workers(default: int = 2) -> int:
+    """Process-pool size for sweep-backed benchmarks.
+
+    Override with ``REPRO_BENCH_WORKERS`` (1 = in-process serial path);
+    results are identical at any worker count, only wall time changes.
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", default)))
+
+
+def sweep_cache():
+    """Run-cache setting for sweep-backed benchmarks.
+
+    Off by default — a cache hit would make the timed numbers meaningless —
+    but ``REPRO_BENCH_CACHE=1`` enables ``.sweep_cache/`` reuse for quick
+    artifact regeneration after an interrupted run.
+    """
+    return ".sweep_cache" if os.environ.get("REPRO_BENCH_CACHE") == "1" else None
 
 
 def emit(text: str) -> None:

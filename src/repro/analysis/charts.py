@@ -64,6 +64,58 @@ def grouped_bars(
     return "\n".join(lines)
 
 
+def sweep_progress_chart(
+    events: list,
+    width: int = 30,
+    title: str | None = None,
+) -> str:
+    """Render a sweep's per-point execution profile as horizontal bars.
+
+    *events* are :class:`~repro.sim.sweep.PointProgress` records (or any
+    objects with ``index``, ``overrides``, ``wall_seconds``,
+    ``events_per_sec``, ``cache_hits`` and ``cache_misses`` attributes);
+    bars are sorted back into grid order, scaled to the slowest point, and
+    annotated with throughput and cache activity.  A totals footer sums
+    wall time and cache hits/misses across the sweep.
+    """
+    if not events:
+        return title or ""
+    events = sorted(events, key=lambda e: e.index)
+    labels = [
+        " ".join(f"{k}={_short(v)}" for k, v in e.overrides.items()) or "(base)"
+        for e in events
+    ]
+    label_w = max(len(label) for label in labels)
+    peak = max(e.wall_seconds for e in events) or 1.0
+    lines = [title] if title else []
+    for e, label in zip(events, labels):
+        filled = round(width * e.wall_seconds / peak)
+        note = (
+            "cache hit"
+            if e.cache_misses == 0 and e.cache_hits > 0
+            else f"{e.events_per_sec / 1e3:,.0f}k ev/s"
+        )
+        lines.append(
+            f"{label:<{label_w}} |{'#' * filled}{' ' * (width - filled)}| "
+            f"{e.wall_seconds:6.2f}s  {note}"
+        )
+    wall = sum(e.wall_seconds for e in events)
+    hits = sum(e.cache_hits for e in events)
+    misses = sum(e.cache_misses for e in events)
+    lines.append(
+        f"total: {len(events)} points, {wall:.2f}s simulated, "
+        f"cache {hits} hit / {misses} miss"
+    )
+    return "\n".join(lines)
+
+
+def _short(value) -> str:
+    value = getattr(value, "value", value)  # enums print their value
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
 def two_line_series(
     xs: list[float],
     a: Series,

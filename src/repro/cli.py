@@ -35,6 +35,26 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--replay-protection", action="store_true")
 
 
+def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
+    """Parallel-execution and run-cache knobs shared by the sweep figures."""
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for sweep execution (1 = in-process)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; do not read or write the run cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=".sweep_cache",
+        help="run-cache directory (default: .sweep_cache)",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="print per-point progress lines and a sweep profile chart",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -47,8 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig1.add_argument("--sim-time-us", type=float, default=1500.0)
     fig5 = sub.add_parser("fig5", help="Figure 5: enforcement comparison bars")
     fig5.add_argument("--sim-time-us", type=float, default=6000.0)
+    _add_sweep_flags(fig5)
     fig6 = sub.add_parser("fig6", help="Figure 6: auth overhead rows")
     fig6.add_argument("--sim-time-us", type=float, default=2500.0)
+    _add_sweep_flags(fig6)
     sub.add_parser("table2", help="Table 2: enforcement overhead model")
     sub.add_parser("table3", help="Table 3: executable threat matrix")
     table4 = sub.add_parser("table4", help="Table 4: MAC time & forgery complexity")
@@ -97,17 +119,44 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_kwargs(args: argparse.Namespace, events: list) -> dict:
+    def on_point(event) -> None:
+        events.append(event)
+        if args.progress:
+            print(event, flush=True)
+
+    return {
+        "workers": args.workers,
+        "cache": None if args.no_cache else args.cache_dir,
+        "progress": on_point,
+    }
+
+
+def _print_sweep_profile(args: argparse.Namespace, events: list) -> None:
+    if args.progress and events:
+        from repro.analysis.charts import sweep_progress_chart
+
+        print()
+        print(sweep_progress_chart(events, title="sweep execution profile"))
+
+
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments.fig5_enforcement import format_fig5, run_fig5
 
-    print(format_fig5(run_fig5(sim_time_us=args.sim_time_us)))
+    events: list = []
+    bars = run_fig5(sim_time_us=args.sim_time_us, **_sweep_kwargs(args, events))
+    print(format_fig5(bars))
+    _print_sweep_profile(args, events)
     return 0
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
     from repro.experiments.fig6_auth import format_fig6, run_fig6
 
-    print(format_fig6(run_fig6(sim_time_us=args.sim_time_us)))
+    events: list = []
+    points = run_fig6(sim_time_us=args.sim_time_us, **_sweep_kwargs(args, events))
+    print(format_fig6(points))
+    _print_sweep_profile(args, events)
     return 0
 
 

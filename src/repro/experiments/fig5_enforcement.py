@@ -26,11 +26,14 @@ link-bandwidth fraction — see EXPERIMENTS.md for the calibration note.
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass
 
 from repro.sim.config import EnforcementMode, SimConfig
 from repro.sim.engine import PS_PER_US
 from repro.sim.runner import SimReport, run_simulation
+from repro.sim.sweep import RunCache, Sweep, SweepProgress
 
 #: input-load → absolute best-effort injection (fraction of link bandwidth).
 #: "Input load" follows interconnect convention (fraction of effective
@@ -111,39 +114,61 @@ def _combined(report: SimReport) -> tuple[float, float, float, float]:
     )
 
 
+def fig5_sweep(
+    input_loads: tuple[float, ...] = INPUT_LOADS,
+    modes: tuple[EnforcementMode, ...] = MODES,
+    sim_time_us: float = 8000.0,
+    seeds: tuple[int, ...] = (11, 12),
+) -> Sweep:
+    """The figure as a :class:`Sweep` grid: enforcement mode × input load.
+
+    ``points()`` order is load-major, mode-minor — the same order the bars
+    print in — because the sweep sorts grid keys and ``best_effort_load``
+    precedes ``enforcement``.
+    """
+    base = fig5_config(modes[0], input_loads[0], sim_time_us)
+    grid = {
+        "best_effort_load": [load * LOAD_SCALE for load in input_loads],
+        "enforcement": list(modes),
+    }
+    return Sweep(base, grid, seeds=tuple(seeds))
+
+
 def run_fig5(
     input_loads: tuple[float, ...] = INPUT_LOADS,
     modes: tuple[EnforcementMode, ...] = MODES,
     sim_time_us: float = 8000.0,
     seeds: tuple[int, ...] = (11, 12),
+    workers: int = 1,
+    cache: RunCache | str | os.PathLike | bool | None = None,
+    progress: SweepProgress | None = None,
 ) -> list[Fig5Bar]:
     """Each bar is averaged over *seeds*: the 60-70% regime is
     transient-dominated (the paper's own standard deviations blow up there
-    the same way), so single-seed bars are noisy."""
+    the same way), so single-seed bars are noisy.
+
+    ``workers``/``cache``/``progress`` pass straight through to
+    :meth:`Sweep.run`; results are identical at any worker count.
+    """
+    sweep = fig5_sweep(input_loads, modes, sim_time_us, seeds)
+    points = sweep.run(progress, workers=workers, cache=cache)
     bars = []
-    for load in input_loads:
-        for mode in modes:
-            acc = []
-            filtered = activations = 0
-            for seed in seeds:
-                report = run_simulation(fig5_config(mode, load, sim_time_us, seed))
-                acc.append(_combined(report))
-                filtered += report.switch_filtered
-                activations += report.sif_activations
-            k = len(acc)
-            q, n, qs, ns = (sum(col) / k for col in zip(*acc))
-            bars.append(
-                Fig5Bar(
-                    mode=mode.value,
-                    input_load=load,
-                    queuing_us=q,
-                    network_us=n,
-                    queuing_std_us=qs,
-                    network_std_us=ns,
-                    filtered_at_switches=filtered,
-                    sif_activations=activations,
-                )
+    for (load, mode), point in zip(itertools.product(input_loads, modes), points):
+        acc = [_combined(report) for report in point.reports]
+        k = len(acc)
+        q, n, qs, ns = (sum(col) / k for col in zip(*acc))
+        bars.append(
+            Fig5Bar(
+                mode=mode.value,
+                input_load=load,
+                queuing_us=q,
+                network_us=n,
+                queuing_std_us=qs,
+                network_std_us=ns,
+                filtered_at_switches=sum(r.switch_filtered for r in point.reports),
+                sif_activations=sum(r.sif_activations for r in point.reports),
             )
+        )
     return bars
 
 

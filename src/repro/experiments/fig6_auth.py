@@ -23,10 +23,11 @@ overhead — keys are pre-distributed with the P_Keys at partition setup.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.sim.config import AuthMode, KeyMgmtMode, SimConfig
-from repro.sim.runner import run_simulation
+from repro.sim.sweep import RunCache, Sweep, SweepProgress
 
 from repro.experiments.fig5_enforcement import LOAD_SCALE, INPUT_LOADS, _combined
 
@@ -70,30 +71,58 @@ def fig6_config(
     )
 
 
+def fig6_sweep(
+    input_loads: tuple[float, ...] = INPUT_LOADS,
+    sim_time_us: float = 3000.0,
+    seed: int = 17,
+    keymgmt: str = "qp",
+) -> tuple[Sweep, list[tuple[float, bool]]]:
+    """The figure as an explicit-point :class:`Sweep` (``auth`` and
+    ``keymgmt`` co-vary, which a cartesian grid cannot express), plus the
+    (input_load, with_key) labels in point order."""
+    base = fig6_config(False, input_loads[0], sim_time_us, seed, keymgmt)
+    overrides = []
+    labels = []
+    for load in input_loads:
+        for with_key in (False, True):
+            cfg = fig6_config(with_key, load, sim_time_us, seed, keymgmt)
+            overrides.append(
+                {
+                    "best_effort_load": load * LOAD_SCALE,
+                    "auth": cfg.auth,
+                    "keymgmt": cfg.keymgmt,
+                }
+            )
+            labels.append((load, with_key))
+    return Sweep.from_points(base, overrides, seeds=(seed,)), labels
+
+
 def run_fig6(
     input_loads: tuple[float, ...] = INPUT_LOADS,
     sim_time_us: float = 3000.0,
     seed: int = 17,
     keymgmt: str = "qp",
+    workers: int = 1,
+    cache: RunCache | str | os.PathLike | bool | None = None,
+    progress: SweepProgress | None = None,
 ) -> list[Fig6Point]:
+    sweep, labels = fig6_sweep(input_loads, sim_time_us, seed, keymgmt)
+    results = sweep.run(progress, workers=workers, cache=cache)
     points = []
-    for load in input_loads:
-        for with_key in (False, True):
-            report = run_simulation(
-                fig6_config(with_key, load, sim_time_us, seed, keymgmt)
+    for (load, with_key), point in zip(labels, results):
+        report = point.reports[0]
+        q, n, qs, ns = _combined(report)
+        points.append(
+            Fig6Point(
+                input_load=load,
+                with_key=with_key,
+                queuing_us=q,
+                network_us=n,
+                queuing_std_us=qs,
+                network_std_us=ns,
+                key_exchanges=report.key_exchanges,
             )
-            q, n, qs, ns = _combined(report)
-            points.append(
-                Fig6Point(
-                    input_load=load,
-                    with_key=with_key,
-                    queuing_us=q,
-                    network_us=n,
-                    queuing_std_us=qs,
-                    network_std_us=ns,
-                    key_exchanges=report.key_exchanges,
-                )
-            )
+        )
     return points
 
 

@@ -12,18 +12,30 @@ RNG streams (:mod:`repro.sim.rng`), latency/queuing statistics
 
 from repro.sim.engine import Engine, Event
 from repro.sim.rng import RngStreams
-from repro.sim.metrics import StatAccumulator, LatencySample, MetricsCollector
+from repro.sim.metrics import (
+    StatAccumulator,
+    LatencySample,
+    MetricsCollector,
+    MetricsSummary,
+)
 from repro.sim.config import SimConfig, EnforcementMode, AuthMode, KeyMgmtMode
+
+_LAZY_RUNNER = ("SimReport", "run_simulation", "build_experiment")
+_LAZY_SWEEP = ("Sweep", "SweepPoint", "RunCache", "SweepStats", "PointProgress")
 
 
 def __getattr__(name):
     # Lazy: the runner pulls in repro.core and repro.iba, which themselves
     # import leaf modules of this package — importing it eagerly here would
     # create a cycle whenever a fabric module is imported first.
-    if name in ("SimReport", "run_simulation", "build_experiment"):
+    if name in _LAZY_RUNNER:
         from repro.sim import runner
 
         return getattr(runner, name)
+    if name in _LAZY_SWEEP:
+        from repro.sim import sweep
+
+        return getattr(sweep, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -33,10 +45,16 @@ __all__ = [
     "StatAccumulator",
     "LatencySample",
     "MetricsCollector",
+    "MetricsSummary",
     "SimConfig",
     "EnforcementMode",
     "AuthMode",
     "KeyMgmtMode",
     "SimReport",
     "run_simulation",
+    "Sweep",
+    "SweepPoint",
+    "RunCache",
+    "SweepStats",
+    "PointProgress",
 ]

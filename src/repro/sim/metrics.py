@@ -98,6 +98,42 @@ class StatAccumulator:
 
 
 @dataclass
+class MetricsSummary:
+    """Serializable (picklable) snapshot of a run's delivered samples.
+
+    :class:`MetricsCollector` is a *live* object wired into every HCA; a
+    :class:`~repro.sim.runner.SimReport` that crosses a process boundary
+    (parallel sweeps, the run cache) carries this summary instead.  It
+    supports the same time-windowed re-aggregation the paper's
+    "excluding the attacking period" analysis needs.
+    """
+
+    samples: list[LatencySample] = field(default_factory=list)
+
+    def classes(self) -> list[str]:
+        return sorted({s.traffic_class for s in self.samples})
+
+    def windowed(
+        self,
+        traffic_class: str,
+        exclude: list[tuple[int, int]] | None = None,
+    ) -> tuple[StatAccumulator, StatAccumulator]:
+        """(queuing, network) accumulators over samples whose *injection*
+        time falls outside every ``exclude`` window (ps intervals)."""
+        exclude = exclude or []
+        q, n = StatAccumulator(), StatAccumulator()
+        for s in self.samples:
+            if s.traffic_class != traffic_class:
+                continue
+            t = s.injected
+            if any(lo <= t < hi for lo, hi in exclude):
+                continue
+            q.add(s.queuing_ps)
+            n.add(s.network_ps)
+        return q, n
+
+
+@dataclass
 class MetricsCollector:
     """Collects delivered-packet samples and summarizes per traffic class.
 
@@ -127,7 +163,18 @@ class MetricsCollector:
     # -- summaries ---------------------------------------------------------
 
     def classes(self) -> list[str]:
-        return sorted(self._queuing)
+        return sorted(set(self._queuing) | set(self._network))
+
+    def count(self, traffic_class: str) -> int:
+        """Delivered-packet count for *traffic_class* (0 when unseen).
+
+        Public accessor so report builders never index ``_queuing``
+        directly — a class observed on only one of the two accumulators
+        (e.g. network-only samples merged in externally) must not KeyError.
+        """
+        q = self._queuing.get(traffic_class)
+        n = self._network.get(traffic_class)
+        return max(q.count if q else 0, n.count if n else 0)
 
     def queuing_us(self, traffic_class: str) -> float:
         """Mean queuing time in microseconds for *traffic_class*."""
@@ -164,14 +211,11 @@ class MetricsCollector:
         """
         if not self.keep_samples:
             raise RuntimeError("windowed() needs keep_samples=True")
-        exclude = exclude or []
-        q, n = StatAccumulator(), StatAccumulator()
-        for s in self.samples:
-            if s.traffic_class != traffic_class:
-                continue
-            t = s.injected
-            if any(lo <= t < hi for lo, hi in exclude):
-                continue
-            q.add(s.queuing_ps)
-            n.add(s.network_ps)
-        return q, n
+        return self.summary().windowed(traffic_class, exclude)
+
+    def summary(self) -> MetricsSummary:
+        """Detach a picklable :class:`MetricsSummary` from this live
+        collector (requires ``keep_samples=True``)."""
+        if not self.keep_samples:
+            raise RuntimeError("summary() needs keep_samples=True")
+        return MetricsSummary(samples=list(self.samples))

@@ -22,7 +22,7 @@ from repro.iba.topology import Fabric, build_mesh, path_length
 from repro.iba.types import QPN, ServiceType
 from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
 from repro.sim.engine import Engine, PS_PER_US
-from repro.sim.metrics import MetricsCollector
+from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.rng import RngStreams
 from repro.sim.traffic import BestEffortSource, Peer, RealtimeSource
 
@@ -44,7 +44,13 @@ class ClassStats:
 
 @dataclass
 class SimReport:
-    """Everything a benchmark needs from one run."""
+    """Everything a benchmark needs from one run.
+
+    Reports are picklable (they cross process boundaries in parallel sweeps
+    and land in the on-disk run cache): the live :class:`MetricsCollector`
+    is never stored here — ``metrics`` is a detached, serializable
+    :class:`MetricsSummary` when the run kept samples.
+    """
 
     config: SimConfig
     stats: dict[str, ClassStats]
@@ -60,7 +66,11 @@ class SimReport:
     key_exchanges: int = 0
     events_processed: int = 0
     wall_seconds: float = 0.0
-    metrics: MetricsCollector | None = field(default=None, repr=False)
+    senders: dict[str, int] = field(default_factory=dict)
+    """Traffic sources actually *started* per class — nodes whose partition
+    peers are all attackers never start one, so this can be less than
+    ``num_nodes - num_attackers``."""
+    metrics: MetricsSummary | None = field(default=None, repr=False)
 
     def cls(self, name: str) -> ClassStats:
         return self.stats.get(
@@ -70,8 +80,6 @@ class SimReport:
     def goodput_gbps(self, traffic_class: str) -> float:
         """Delivered goodput of *traffic_class* over the run, in Gbit/s of
         on-the-wire bytes (payload + headers), fabric-wide."""
-        from repro.iba.packet import LOCAL_UD_OVERHEAD
-
         stats = self.cls(traffic_class)
         wire_bits = (self.config.mtu_bytes + LOCAL_UD_OVERHEAD) * 8
         seconds = self.config.sim_time_ps / 1e12
@@ -84,8 +92,12 @@ class SimReport:
             "best_effort": self.config.best_effort_load if self.config.enable_best_effort else 0.0,
             "realtime": self.config.realtime_load if self.config.enable_realtime else 0.0,
         }.get(traffic_class, 0.0)
-        honest = self.config.num_nodes - self.config.num_attackers
-        return load * self.config.link_bandwidth_gbps * honest
+        if traffic_class in self.senders:
+            senders = self.senders[traffic_class]
+        else:
+            # Report built without sender counts: best available estimate.
+            senders = self.config.num_nodes - self.config.num_attackers
+        return load * self.config.link_bandwidth_gbps * senders
 
     def excluding_attack_windows(self, traffic_class: str) -> tuple[float, float]:
         """(queuing_us, network_us) over deliveries injected outside attack
@@ -294,10 +306,16 @@ def run_simulation(config: SimConfig) -> SimReport:
             network_us=metrics.network_us(name),
             queuing_std_us=metrics.queuing_std_us(name),
             network_std_us=metrics.network_std_us(name),
-            count=metrics._queuing[name].count,
+            count=metrics.count(name),
         )
         for name in metrics.classes()
     }
+    senders = {"best_effort": 0, "realtime": 0}
+    for src in sources:
+        if isinstance(src, BestEffortSource):
+            senders["best_effort"] += 1
+        elif isinstance(src, RealtimeSource):
+            senders["realtime"] += 1
     switch_filtered = sum(sw.filtered_drops for sw in fabric.all_switches())
     switch_lookups = 0
     sif_act = sif_deact = 0
@@ -324,5 +342,6 @@ def run_simulation(config: SimConfig) -> SimReport:
         key_exchanges=getattr(key_manager, "exchanges", 0),
         events_processed=engine.events_processed,
         wall_seconds=wall,
-        metrics=metrics if config.keep_samples else None,
+        senders=senders,
+        metrics=metrics.summary() if config.keep_samples else None,
     )

@@ -2,7 +2,54 @@
 
 import pytest
 
-from repro.analysis.charts import Series, grouped_bars, hbar_chart, two_line_series
+from repro.analysis.charts import (
+    Series,
+    grouped_bars,
+    hbar_chart,
+    sweep_progress_chart,
+    two_line_series,
+)
+from repro.sim.sweep import PointProgress
+
+
+class TestSweepProgressChart:
+    def _event(self, index, wall=1.0, hits=0, misses=1, **overrides):
+        return PointProgress(
+            index=index, total=2, overrides=overrides or {"x": index},
+            wall_seconds=wall, events_per_sec=1e5 if misses else 2e5,
+            cache_hits=hits, cache_misses=misses,
+        )
+
+    def test_renders_points_in_grid_order(self):
+        out = sweep_progress_chart(
+            [self._event(1, wall=2.0), self._event(0, wall=1.0)],
+            width=10, title="profile",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "profile"
+        assert "x=0" in lines[1] and "x=1" in lines[2]
+        assert lines[2].count("#") == 10  # slowest point fills the bar
+        assert lines[1].count("#") == 5
+
+    def test_cache_hits_annotated_and_totalled(self):
+        out = sweep_progress_chart(
+            [self._event(0, hits=1, misses=0), self._event(1)]
+        )
+        assert "cache hit" in out
+        assert "cache 1 hit / 1 miss" in out
+
+    def test_enum_and_float_overrides_render_short(self):
+        from repro.sim.config import EnforcementMode
+
+        out = sweep_progress_chart(
+            [self._event(0, enforcement=EnforcementMode.SIF, load=0.30000000000004)]
+        )
+        assert "enforcement=sif" in out
+        assert "load=0.3 " in out or "load=0.3|" in out.replace(" |", "|")
+
+    def test_empty(self):
+        assert sweep_progress_chart([], title="t") == "t"
+        assert sweep_progress_chart([]) == ""
 
 
 class TestHbar:

@@ -7,7 +7,12 @@ import statistics
 import pytest
 
 from repro.sim.engine import PS_PER_US
-from repro.sim.metrics import LatencySample, MetricsCollector, StatAccumulator
+from repro.sim.metrics import (
+    LatencySample,
+    MetricsCollector,
+    MetricsSummary,
+    StatAccumulator,
+)
 
 
 def sample(created, injected, delivered, cls="best_effort", src=1, dst=2):
@@ -128,3 +133,52 @@ class TestMetricsCollector:
         assert m.delivered == 1
         assert m.samples == []
         assert m.queuing_us("best_effort") > 0
+
+    def test_count_accessor(self):
+        m = MetricsCollector()
+        m.record_delivery(sample(0, 10, 100))
+        m.record_delivery(sample(0, 20, 100))
+        m.record_delivery(sample(0, 20, 100, cls="realtime"))
+        assert m.count("best_effort") == 2
+        assert m.count("realtime") == 1
+        assert m.count("nope") == 0
+
+    def test_count_survives_network_only_class(self):
+        """A class observed on only one accumulator (e.g. merged in from an
+        external network-only trace) must count, not KeyError."""
+        m = MetricsCollector()
+        acc = StatAccumulator()
+        acc.add(42.0)
+        m._network["netonly"] = acc
+        assert m.count("netonly") == 1
+        assert "netonly" in m.classes()
+
+
+class TestMetricsSummary:
+    def test_detached_from_collector(self):
+        m = MetricsCollector()
+        m.record_delivery(sample(0, 10, 100))
+        summary = m.summary()
+        m.record_delivery(sample(0, 60, 100))  # must not leak into summary
+        q, _ = summary.windowed("best_effort")
+        assert q.count == 1
+
+    def test_windowed_matches_collector(self):
+        m = MetricsCollector()
+        m.record_delivery(sample(0, 10 * PS_PER_US, 20 * PS_PER_US))
+        m.record_delivery(sample(0, 60 * PS_PER_US, 200 * PS_PER_US))
+        exclude = [(50 * PS_PER_US, 100 * PS_PER_US)]
+        qc, nc = m.windowed("best_effort", exclude=exclude)
+        qs, ns = m.summary().windowed("best_effort", exclude=exclude)
+        assert (qs.count, qs.mean) == (qc.count, qc.mean)
+        assert (ns.count, ns.mean) == (nc.count, nc.mean)
+
+    def test_requires_kept_samples(self):
+        with pytest.raises(RuntimeError):
+            MetricsCollector(keep_samples=False).summary()
+
+    def test_classes(self):
+        summary = MetricsSummary(
+            samples=[sample(0, 1, 2), sample(0, 1, 2, cls="realtime")]
+        )
+        assert summary.classes() == ["best_effort", "realtime"]

@@ -146,3 +146,54 @@ class TestReport:
         report = run_simulation(SimConfig(sim_time_us=150.0, seed=4))
         assert report.events_processed > 0
         assert report.wall_seconds > 0
+
+    def test_report_pickles_with_windowed_stats(self):
+        import pickle
+
+        report = run_simulation(SimConfig(sim_time_us=150.0, seed=4))
+        clone = pickle.loads(pickle.dumps(report))
+        q0, n0 = report.metrics.windowed("best_effort")
+        q1, n1 = clone.metrics.windowed("best_effort")
+        assert (q1.count, q1.mean) == (q0.count, q0.mean)
+        assert (n1.count, n1.mean) == (n0.count, n0.mean)
+        assert clone.excluding_attack_windows(
+            "best_effort"
+        ) == report.excluding_attack_windows("best_effort")
+
+
+class TestOfferedLoad:
+    def test_counts_only_started_sources(self):
+        """A node whose partition peers are all attackers never starts a
+        source; offered load must reflect that, not num_nodes - attackers."""
+        report = run_simulation(
+            SimConfig(
+                mesh_width=2, mesh_height=1, num_partitions=1,
+                sim_time_us=150.0, seed=3, num_attackers=1,
+                enable_realtime=False, keep_samples=False,
+            )
+        )
+        # 2-node fabric, 1 attacker: the honest node's only peer is the
+        # attacker, so zero sources started
+        assert report.senders["best_effort"] == 0
+        assert report.offered_load_gbps("best_effort") == 0.0
+
+    def test_full_fabric_matches_configured_rate(self):
+        cfg = SimConfig(sim_time_us=150.0, seed=4, enable_realtime=False)
+        report = run_simulation(cfg)
+        assert report.senders["best_effort"] == cfg.num_nodes
+        assert report.senders["realtime"] == 0
+        expected = cfg.best_effort_load * cfg.link_bandwidth_gbps * cfg.num_nodes
+        assert report.offered_load_gbps("best_effort") == pytest.approx(expected)
+        assert report.offered_load_gbps("realtime") == 0.0
+
+    def test_legacy_report_falls_back_to_config_estimate(self):
+        cfg = SimConfig(num_attackers=2)
+        report = SimReport(
+            config=cfg, stats={}, drops={}, delivered=0, attack_windows=[]
+        )
+        expected = (
+            cfg.best_effort_load
+            * cfg.link_bandwidth_gbps
+            * (cfg.num_nodes - cfg.num_attackers)
+        )
+        assert report.offered_load_gbps("best_effort") == pytest.approx(expected)

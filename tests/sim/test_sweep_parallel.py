@@ -1,0 +1,197 @@
+"""Parallel sweep execution, the run cache, and crash/timeout robustness.
+
+The worker-crash runners live at module level so the process pool can
+pickle them by reference; they communicate across process boundaries via a
+flag file (environment-passed path) because worker state does not persist
+between attempts.
+"""
+
+import os
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import run_simulation
+from repro.sim.sweep import (
+    RunCache,
+    Sweep,
+    SweepTimeoutError,
+    SweepWorkerError,
+    config_key,
+    queuing_us,
+)
+
+_CRASH_FLAG_ENV = "REPRO_TEST_CRASH_FLAG"
+
+
+def _crash_once_runner(cfg):
+    flag = Path(os.environ[_CRASH_FLAG_ENV])
+    if not flag.exists():
+        flag.write_text("crashed")
+        os._exit(13)
+    return run_simulation(cfg)
+
+
+def _always_crash_runner(cfg):
+    os._exit(13)
+
+
+def _sleepy_runner(cfg):
+    time.sleep(120)
+    return run_simulation(cfg)
+
+
+@pytest.fixture
+def base():
+    return SimConfig(
+        mesh_width=2, mesh_height=2, num_partitions=1,
+        sim_time_us=150.0, warmup_us=10.0, best_effort_load=0.2,
+        enable_realtime=False, keep_samples=False,
+    )
+
+
+GRID = {"best_effort_load": [0.2, 0.3], "num_attackers": [0, 1]}
+METRICS = {"q": queuing_us("best_effort")}
+
+
+@pytest.mark.tier2_smoke
+class TestSerialParallelEquivalence:
+    def test_table_rows_identical(self, base):
+        serial = Sweep(base, GRID, seeds=(1, 2))
+        parallel = Sweep(base, GRID, seeds=(1, 2))
+        serial.run(workers=1)
+        parallel.run(workers=2)
+        assert serial.table(METRICS) == parallel.table(METRICS)
+
+    def test_point_structure_identical(self, base):
+        serial = Sweep(base, GRID, seeds=(1, 2))
+        parallel = Sweep(base, GRID, seeds=(1, 2))
+        for s, p in zip(serial.run(workers=1), parallel.run(workers=2)):
+            assert s.overrides == p.overrides
+            assert s.seeds == p.seeds
+            assert [r.delivered for r in s.reports] == [
+                r.delivered for r in p.reports
+            ]
+            assert [r.events_processed for r in s.reports] == [
+                r.events_processed for r in p.reports
+            ]
+
+    def test_progress_events_cover_every_point(self, base):
+        events = []
+        Sweep(base, GRID).run(events.append, workers=2)
+        assert sorted(e.index for e in events) == [0, 1, 2, 3]
+        assert all(e.total == 4 for e in events)
+        assert all(e.wall_seconds > 0 for e in events)
+        assert all(e.events_per_sec > 0 for e in events)
+
+
+class TestRunCache:
+    def test_cold_then_warm(self, base, tmp_path):
+        cold = Sweep(base, GRID, seeds=(1,))
+        cold.run(workers=1, cache=tmp_path)
+        assert cold.stats.simulated == 4
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.cache_misses == 4
+
+        warm = Sweep(base, GRID, seeds=(1,))
+        warm.run(workers=2, cache=tmp_path)
+        # warm re-run performs zero simulations: hit count == grid size
+        assert warm.stats.simulated == 0
+        assert warm.stats.cache_hits == 4
+        assert warm.table(METRICS) == cold.table(METRICS)
+
+    def test_cache_key_tracks_every_field(self, base):
+        assert config_key(base) == config_key(base.replace())
+        assert config_key(base) != config_key(base.replace(seed=2))
+        assert config_key(base) != config_key(base.replace(sim_time_us=151.0))
+
+    def test_config_change_invalidates(self, base, tmp_path):
+        Sweep(base, GRID, seeds=(1,)).run(cache=tmp_path)
+        changed = Sweep(
+            base.replace(sim_time_us=160.0), GRID, seeds=(1,)
+        )
+        changed.run(cache=tmp_path)
+        assert changed.stats.cache_hits == 0
+        assert changed.stats.simulated == 4
+
+    # "garbage\n" starts with pickle's GET opcode, whose argument parse
+    # raises ValueError rather than UnpicklingError — both must be a miss.
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n"])
+    def test_corrupt_entry_is_a_miss(self, base, tmp_path, junk):
+        cache = RunCache(root=tmp_path)
+        Sweep(base, {}, seeds=(1,)).run(cache=cache)
+        (entry,) = tmp_path.glob("*.pkl")
+        entry.write_bytes(junk)
+        rerun = Sweep(base, {}, seeds=(1,))
+        rerun.run(cache=cache)
+        assert rerun.stats.cache_hits == 0
+        assert rerun.stats.simulated == 1
+
+    def test_wrong_object_in_entry_is_a_miss(self, base, tmp_path):
+        cache = RunCache(root=tmp_path)
+        cache.put(base, run_simulation(base))
+        (entry,) = tmp_path.glob("*.pkl")
+        entry.write_bytes(pickle.dumps({"not": "a report"}))
+        assert cache.get(base) is None
+
+    def test_progress_reports_cache_hits(self, base, tmp_path):
+        Sweep(base, GRID, seeds=(1,)).run(cache=tmp_path)
+        events = []
+        Sweep(base, GRID, seeds=(1,)).run(events.append, cache=tmp_path)
+        assert len(events) == 4
+        assert all(e.cache_hits == 1 and e.cache_misses == 0 for e in events)
+
+
+class TestRobustness:
+    def test_worker_crash_retried_once(self, base, tmp_path, monkeypatch):
+        monkeypatch.setenv(_CRASH_FLAG_ENV, str(tmp_path / "crashed.flag"))
+        sweep = Sweep(base, {"best_effort_load": [0.2, 0.3]}, seeds=(1,))
+        points = sweep.run(workers=2, runner=_crash_once_runner)
+        assert (tmp_path / "crashed.flag").exists()
+        assert sweep.stats.retried > 0
+        assert len(points) == 2
+        assert all(p.reports[0].delivered > 0 for p in points)
+
+    def test_worker_crash_twice_gives_up(self, base):
+        sweep = Sweep(base, {}, seeds=(1,))
+        with pytest.raises(SweepWorkerError):
+            sweep.run(workers=2, runner=_always_crash_runner)
+
+    def test_per_run_timeout(self, base):
+        sweep = Sweep(base, {}, seeds=(1,))
+        with pytest.raises(SweepTimeoutError):
+            sweep.run(workers=2, timeout=0.5, runner=_sleepy_runner)
+
+    def test_custom_runner_in_process(self, base):
+        calls = []
+
+        def runner(cfg):
+            calls.append(cfg.seed)
+            return run_simulation(cfg)
+
+        Sweep(base, {}, seeds=(3, 4)).run(workers=1, runner=runner)
+        assert calls == [3, 4]
+
+
+class TestSweepBugfixes:
+    def test_empty_value_list_yields_empty_results(self, base):
+        """grid={"x": []} legitimately runs zero points — `.results` must
+        return [] afterwards, not claim run() was never called."""
+        sweep = Sweep(base, {"num_attackers": []})
+        assert sweep.run() == []
+        assert sweep.results == []
+        assert sweep.table(METRICS) == []
+
+    def test_results_before_run_still_raises(self, base):
+        with pytest.raises(RuntimeError, match="call run"):
+            Sweep(base, {"num_attackers": []}).results
+
+    def test_mean_with_no_reports_raises_cleanly(self, base):
+        sweep = Sweep(base, {}, seeds=())
+        (point,) = sweep.run()
+        assert point.reports == ()
+        with pytest.raises(ValueError, match="no reports"):
+            point.mean(queuing_us("best_effort"))

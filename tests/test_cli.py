@@ -26,6 +26,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig1", "--panel", "management"])
 
+    def test_sweep_flags_on_figures(self):
+        for fig in ("fig5", "fig6"):
+            args = build_parser().parse_args(
+                [fig, "--workers", "4", "--no-cache", "--progress"]
+            )
+            assert args.workers == 4
+            assert args.no_cache is True
+            assert args.progress is True
+            assert args.cache_dir == ".sweep_cache"
+
 
 class TestCommands:
     def test_run_prints_summary(self, capsys):
@@ -68,3 +78,17 @@ class TestCommands:
         assert main(["fig1", "--panel", "realtime", "--sim-time-us", "200"]) == 0
         out = capsys.readouterr().out
         assert "Figure 1(a)" in out
+
+    def test_fig6_workers_and_cache_flags(self, capsys, tmp_path):
+        argv = [
+            "fig6", "--sim-time-us", "250", "--workers", "2",
+            "--cache-dir", str(tmp_path), "--progress",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Figure 6" in cold
+        assert "sweep execution profile" in cold
+        # second invocation is served entirely from the run cache
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache 8 hit / 0 miss" in warm
