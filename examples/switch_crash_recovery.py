@@ -84,8 +84,8 @@ def run(auth: AuthMode, keymgmt: KeyMgmtMode, narrate: bool = False):
     )
     # let the post-recovery backlog drain before snapshotting the victim
     engine.run(until=cfg.sim_time_ps + round(200 * PS_PER_US))
-    before_failures = victim_hca.auth_failures
-    before_delivered = victim_hca.delivered
+    before_failures = int(victim_hca.auth_failures)
+    before_delivered = int(victim_hca.delivered)
     inject_raw(attacker_hca, pkt)
     engine.run(until=cfg.sim_time_ps + round(400 * PS_PER_US))
     return (

@@ -16,6 +16,93 @@ class Series:
     values: list[float]
 
 
+def packet_timeline(events, packet_id: int) -> str:
+    """Per-packet lifecycle timeline from trace events.
+
+    *events* is any iterable of :class:`~repro.sim.trace.TraceEvent`;
+    only those for *packet_id* are rendered, one line per event with the
+    absolute timestamp and the delta since the packet's first event.
+    """
+    evs = sorted(
+        (e for e in events if e.packet_id == packet_id),
+        key=lambda e: e.time_ps,
+    )
+    if not evs:
+        return f"packet {packet_id}: no trace events"
+    t0 = evs[0].time_ps
+    lines = [f"packet {packet_id}: {len(evs)} events"]
+    for e in evs:
+        delta_us = (e.time_ps - t0) / 1_000_000
+        detail = f"  {e.detail}" if e.detail else ""
+        lines.append(
+            f"  {e.time_us:>12.3f} us  +{delta_us:>9.3f} us  "
+            f"{e.kind:<12} @{e.where}{detail}"
+        )
+    return "\n".join(lines)
+
+
+def sif_timeline(events, width: int = 60, title: str | None = None) -> str:
+    """SIF activation timeline: one band per filter scope plus a trap row.
+
+    Renders, over the traced time span, when each SIF filter was active
+    (``#`` between ``A``\\ ctivation and ``D``\\ eactivation marks) and when
+    P_Key-violation traps fired (``!`` on the ``traps`` row).  This is the
+    paper's Section-3.3 story at a glance: trap → filter on → attack dies
+    at the ingress → idle timeout → filter off.
+    """
+    events = sorted(events, key=lambda e: e.time_ps)
+    if not events:
+        return title or "no trace events"
+    span = max(e.time_ps for e in events) or 1
+    col = lambda t: min(width - 1, int(width * t / span))
+
+    traps = [e for e in events if e.kind == "trap_raised"]
+    scopes: dict[str, list] = {}
+    for e in events:
+        if e.kind in ("sif_activated", "sif_deactivated"):
+            scopes.setdefault(e.where, []).append(e)
+
+    lines = [title] if title else []
+    lines.append(f"span: 0 .. {span / 1_000_000:.1f} us ({width} cols)")
+    label_w = max(
+        [len("traps")] + [len(s) for s in scopes], default=len("traps")
+    )
+    if traps:
+        row = [" "] * width
+        for e in traps:
+            row[col(e.time_ps)] = "!"
+        lines.append(f"{'traps':<{label_w}} |{''.join(row)}|  {len(traps)} raised")
+    for scope in sorted(scopes):
+        row = [" "] * width
+        active_from: int | None = None
+        acts = deacts = 0
+        for e in scopes[scope]:
+            c = col(e.time_ps)
+            if e.kind == "sif_activated":
+                acts += 1
+                active_from = c
+                row[c] = "A"
+            else:
+                deacts += 1
+                start = active_from if active_from is not None else c
+                for i in range(start + 1, c):
+                    if row[i] == " ":
+                        row[i] = "#"
+                row[c] = "D"
+                active_from = None
+        if active_from is not None:  # still active at end of trace
+            for i in range(active_from + 1, width):
+                if row[i] == " ":
+                    row[i] = "#"
+        lines.append(
+            f"{scope:<{label_w}} |{''.join(row)}|  "
+            f"{acts} activation(s), {deacts} deactivation(s)"
+        )
+    if len(lines) <= 2 and not traps:
+        lines.append("(no trap/SIF lifecycle events in trace)")
+    return "\n".join(lines)
+
+
 def hbar_chart(
     rows: list[tuple[str, float]],
     width: int = 50,

@@ -3,6 +3,8 @@
 Usage (installed as ``repro-sim`` or via ``python -m repro.cli``)::
 
     repro-sim run --attackers 2 --load 0.5 --enforcement sif
+    repro-sim trace --jsonl events.jsonl
+    repro-sim trace --packet 42
     repro-sim fig1 --panel best_effort
     repro-sim fig5
     repro-sim fig6
@@ -35,6 +37,47 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--replay-protection", action="store_true")
 
 
+def _add_trace(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="run one traced simulation; print SIF/packet timelines, export JSONL",
+        description=(
+            "Runs a SIF-enforced DoS scenario with the event-bus tracer "
+            "attached.  The defaults produce the paper's full Section-3.3 "
+            "lifecycle — trap raised, filter activated, flood dropped at the "
+            "ingress, idle timeout, filter self-disabled — in one run."
+        ),
+    )
+    p.add_argument("--sim-time-us", type=float, default=1200.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--attackers", type=int, default=1)
+    p.add_argument("--load", type=float, default=0.3, help="best-effort injection (fraction of link bw)")
+    p.add_argument(
+        "--enforcement", choices=["none", "dpt", "if", "sif"], default="sif"
+    )
+    p.add_argument(
+        "--duty-cycle", type=float, default=0.12,
+        help="fraction of the run the attack is active (bursty by default so the SIF idle timeout fires)",
+    )
+    p.add_argument("--attack-window-us", type=float, default=40.0)
+    p.add_argument(
+        "--sif-idle-timeout-us", type=float, default=100.0,
+        help="SIF self-disable timeout (short by default so deactivation is visible)",
+    )
+    p.add_argument(
+        "--jsonl", metavar="PATH",
+        help="write every trace event as one JSON object per line ('-' = stdout)",
+    )
+    p.add_argument(
+        "--packet", type=int, metavar="ID",
+        help="print the per-packet timeline for this packet id",
+    )
+    p.add_argument(
+        "--max-events", type=int, default=None,
+        help="ring-buffer bound: keep only the newest N trace events",
+    )
+
+
 def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
     """Parallel-execution and run-cache knobs shared by the sweep figures."""
     p.add_argument(
@@ -62,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_run(sub)
+    _add_trace(sub)
     fig1 = sub.add_parser("fig1", help="Figure 1: DoS queuing/latency series")
     fig1.add_argument("--panel", choices=["realtime", "best_effort", "both"], default="both")
     fig1.add_argument("--sim-time-us", type=float, default=1500.0)
@@ -105,6 +149,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"traps={report.traps_processed} key_exchanges={report.key_exchanges} "
         f"events={report.events_processed} wall={report.wall_seconds:.2f}s"
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.charts import packet_timeline, sif_timeline
+    from repro.sim.config import EnforcementMode, SimConfig
+    from repro.sim.runner import run_simulation
+    from repro.sim.trace import Tracer
+
+    cfg = SimConfig(
+        sim_time_us=args.sim_time_us,
+        seed=args.seed,
+        num_attackers=args.attackers,
+        best_effort_load=args.load,
+        enforcement=EnforcementMode(args.enforcement),
+        attack_duty_cycle=args.duty_cycle,
+        attack_window_us=args.attack_window_us,
+        sif_idle_timeout_us=args.sif_idle_timeout_us,
+    )
+    cfg.validate()
+    tracer = Tracer(max_events=args.max_events)
+    report = run_simulation(cfg, tracer=tracer)
+
+    if args.jsonl == "-":
+        for line in tracer.jsonl_lines():
+            print(line)
+        return 0
+    if args.jsonl:
+        n = tracer.to_jsonl(args.jsonl)
+        print(f"wrote {n} events to {args.jsonl}")
+
+    print(report.summary())
+    kinds = tracer.kinds()
+    print(
+        "trace: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        + (f"  (ring buffer kept {len(tracer.events)}/{tracer.seen})" if tracer.truncated else "")
+    )
+    print()
+    print(sif_timeline(tracer.events, title="SIF activation timeline"))
+    if args.packet is not None:
+        print()
+        print(packet_timeline(tracer.events, args.packet))
     return 0
 
 
@@ -183,6 +270,7 @@ def _cmd_table4(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "fig1": _cmd_fig1,
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,

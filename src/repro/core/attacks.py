@@ -25,6 +25,7 @@ from repro.iba.keys import PKey, QKey
 from repro.iba.packet import DataPacket, TrapMAD
 from repro.iba.qp import QueuePair
 from repro.iba.types import LID, QPN, ServiceType, TrafficClass
+from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_US
 from repro.sim.traffic import make_ud_packet
 
@@ -56,6 +57,7 @@ class RandomPKeyFlooder:
         valid_pkey: PKey | None = None,
         backlog: int = 32,
         dest_strategy: str = "spray",
+        registry: CounterRegistry | None = None,
     ) -> None:
         if not target_lids:
             raise ValueError("flooder needs targets")
@@ -82,7 +84,8 @@ class RandomPKeyFlooder:
         #: ("allow the attacker to choose random nodes to attack").
         self.dest_strategy = dest_strategy
         self._window_victim = self.targets[0]
-        self.generated = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.generated = self.registry.counter(f"attacker.{int(hca.lid)}.generated")
         self._class_rr = 0
 
     def start(self) -> None:
@@ -112,7 +115,7 @@ class RandomPKeyFlooder:
             )
             pkt.bth.reserved_auth = 0
             self.hca.submit(pkt)
-            self.generated += 1
+            self.generated.inc()
         self.engine.schedule(self.tick_ps // len(self.classes), self._tick, window_end)
 
 
@@ -127,6 +130,7 @@ class SMTrapFlooder:
         rate_per_us: float,
         duration_us: float,
         rng: random.Random,
+        registry: CounterRegistry | None = None,
     ) -> None:
         self.engine = engine
         self.sm = sm
@@ -134,7 +138,8 @@ class SMTrapFlooder:
         self.gap_ps = round(PS_PER_US / rate_per_us)
         self.stop_at = round(duration_us * PS_PER_US)
         self.rng = rng
-        self.sent = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.sent = self.registry.counter(f"attacker.{int(reporter)}.traps_sent")
 
     def start(self) -> None:
         self.engine.schedule(self.gap_ps, self._tick)
@@ -150,7 +155,7 @@ class SMTrapFlooder:
                 t_created=self.engine.now,
             )
         )
-        self.sent += 1
+        self.sent.inc()
         self.engine.schedule(self.gap_ps, self._tick)
 
 

@@ -33,6 +33,7 @@ from repro.crypto.pmac import PMAC
 from repro.crypto.stream import stream_mac
 from repro.crypto.umac import UMAC
 from repro.iba import crc as ibacrc
+from repro.sim.counters import CounterRegistry
 from repro.iba.packet import DataPacket
 from repro.sim.config import AuthMode
 from repro.sim.engine import PS_PER_NS
@@ -160,14 +161,16 @@ class MacAuthService:
         keymgr: KeyManager,
         mac_stage_delay_ns: float = 5.0,
         on_demand_partitions: set[int] | None = None,
+        registry: "CounterRegistry | None" = None,
     ) -> None:
         self.func = func
         self.keymgr = keymgr
         self._stage_ps = round(mac_stage_delay_ns * PS_PER_NS)
         self.on_demand = on_demand_partitions
-        self.tags_generated = 0
-        self.tags_verified = 0
-        self.tags_rejected = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.tags_generated = self.registry.counter("auth.tags_generated")
+        self.tags_verified = self.registry.counter("auth.tags_verified")
+        self.tags_rejected = self.registry.counter("auth.tags_rejected")
 
     def _covered(self, packet: DataPacket) -> bool:
         return self.on_demand is None or packet.pkey.index in self.on_demand
@@ -187,7 +190,7 @@ class MacAuthService:
         packet.bth.reserved_auth = self.func.ident
         packet.icrc = self.func.compute(key, packet.invariant_bytes(), packet.nonce)
         packet.vcrc = ibacrc.vcrc(packet)
-        self.tags_generated += 1
+        self.tags_generated.inc()
         return delay + self._stage_ps
 
     def verify(self, packet: DataPacket, receiver) -> bool:
@@ -195,17 +198,17 @@ class MacAuthService:
             return ibacrc.verify_icrc(packet)
         if packet.bth.reserved_auth != self.func.ident:
             # Unauthenticated packet in a protected partition: reject.
-            self.tags_rejected += 1
+            self.tags_rejected.inc()
             return False
         key = self.keymgr.receiver_key(receiver, packet)
         if key is None:
-            self.tags_rejected += 1
+            self.tags_rejected.inc()
             return False
         expected = self.func.compute(key, packet.invariant_bytes(), packet.nonce)
         if expected == packet.icrc:
-            self.tags_verified += 1
+            self.tags_verified.inc()
             return True
-        self.tags_rejected += 1
+        self.tags_rejected.inc()
         return False
 
     def verify_delay_ps(self) -> int:

@@ -27,7 +27,9 @@ from __future__ import annotations
 
 from repro.iba.keys import PKey
 from repro.iba.packet import DataPacket
+from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_US
+from repro.sim.trace import Tracer
 
 
 def _is_management(pkey: PKey) -> bool:
@@ -37,34 +39,48 @@ def _is_management(pkey: PKey) -> bool:
 class DPTPortFilter:
     """Always-on filter holding the full subnet partition table."""
 
-    def __init__(self, subnet_pkey_indices: set[int], lookup_ns: float) -> None:
+    def __init__(
+        self,
+        subnet_pkey_indices: set[int],
+        lookup_ns: float,
+        registry: CounterRegistry | None = None,
+        scope: str = "filter.dpt",
+    ) -> None:
         self.table = set(subnet_pkey_indices)
         self.lookup_ns = lookup_ns
-        self.lookups = 0
-        self.drops = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.lookups = self.registry.counter(f"{scope}.lookups")
+        self.drops = self.registry.counter(f"{scope}.drops")
 
     def process(self, packet: DataPacket, now_ps: int) -> tuple[bool, float]:
-        self.lookups += 1
+        self.lookups.inc()
         if _is_management(packet.pkey) or packet.pkey.index in self.table:
             return True, self.lookup_ns
-        self.drops += 1
+        self.drops.inc()
         return False, self.lookup_ns
 
 
 class IngressPortFilter:
     """Always-on ingress filter holding only the attached node's partitions."""
 
-    def __init__(self, node_pkey_indices: set[int], lookup_ns: float) -> None:
+    def __init__(
+        self,
+        node_pkey_indices: set[int],
+        lookup_ns: float,
+        registry: CounterRegistry | None = None,
+        scope: str = "filter.if",
+    ) -> None:
         self.table = set(node_pkey_indices)
         self.lookup_ns = lookup_ns
-        self.lookups = 0
-        self.drops = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.lookups = self.registry.counter(f"{scope}.lookups")
+        self.drops = self.registry.counter(f"{scope}.drops")
 
     def process(self, packet: DataPacket, now_ps: int) -> tuple[bool, float]:
-        self.lookups += 1
+        self.lookups.inc()
         if _is_management(packet.pkey) or packet.pkey.index in self.table:
             return True, self.lookup_ns
-        self.drops += 1
+        self.drops.inc()
         return False, self.lookup_ns
 
 
@@ -77,23 +93,33 @@ class SIFPortFilter:
         node_pkey_indices: set[int],
         lookup_ns: float,
         idle_timeout_us: float,
+        registry: CounterRegistry | None = None,
+        scope: str = "filter.sif",
+        tracer: Tracer | None = None,
     ) -> None:
         self.engine = engine
         self.partition_table = set(node_pkey_indices)
         self.lookup_ns = lookup_ns
         self.idle_timeout_ps = round(idle_timeout_us * PS_PER_US)
         self.enabled = False
+        self.scope = scope
+        self.tracer = tracer
         #: Invalid_P_Key_Table — P_Key indices the SM registered.
         self.invalid_table: set[int] = set()
-        #: Ingress P_Key Violation Counter (paper Section 3.3).
-        self.violation_counter = 0
         self._counter_at_last_check = 0
         self._timer_armed = False
-        # statistics
-        self.lookups = 0
-        self.drops = 0
-        self.activations = 0
-        self.deactivations = 0
+        # statistics (registry-owned; see repro.sim.counters)
+        self.registry = registry if registry is not None else CounterRegistry()
+        #: Ingress P_Key Violation Counter (paper Section 3.3) — modeled
+        #: hardware state, but exported like any other counter.
+        self.violation_counter = self.registry.counter(f"{scope}.violation_counter")
+        self.lookups = self.registry.counter(f"{scope}.lookups")
+        self.drops = self.registry.counter(f"{scope}.drops")
+        self.activations = self.registry.counter(f"{scope}.activations")
+        self.deactivations = self.registry.counter(f"{scope}.deactivations")
+        self.rejected_registrations = self.registry.counter(
+            f"{scope}.rejected_registrations"
+        )
 
     # -- data path ----------------------------------------------------------
 
@@ -105,7 +131,7 @@ class SIFPortFilter:
     def process(self, packet: DataPacket, now_ps: int) -> tuple[bool, float]:
         if not self.enabled:
             return True, 0.0  # SIF idle: no lookup, no stall
-        self.lookups += 1
+        self.lookups.inc()
         if _is_management(packet.pkey):
             return True, self.lookup_ns
         idx = packet.pkey.index
@@ -114,22 +140,43 @@ class SIFPortFilter:
         else:
             ok = idx not in self.invalid_table
         if not ok:
-            self.drops += 1
-            self.violation_counter += 1
+            self.drops.inc()
+            self.violation_counter.inc()
             return False, self.lookup_ns
         return True, self.lookup_ns
 
     # -- SM-facing control --------------------------------------------------
 
     def register_invalid(self, pkey: PKey, now_ps: int) -> None:
-        """SM registers a trapped P_Key and enables filtering (Section 3.3)."""
-        self.invalid_table.add(pkey.index)
+        """SM registers a trapped P_Key and enables filtering (Section 3.3).
+
+        The Invalid_P_Key_Table is bounded by the partition table: "the
+        Invalid_P_Key_Table should be used as long as the number of entries
+        is smaller than the partition table".  Once :attr:`whitelist_mode`
+        is reached, further registrations are redundant — the whitelist
+        already rejects every invalid P_Key — and are *not* inserted, so a
+        wide P_Key spray cannot grow the table without bound.
+        """
+        if self.whitelist_mode:
+            self.rejected_registrations.inc()
+        else:
+            self.invalid_table.add(pkey.index)
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.engine.now, "sif_registered", self.scope,
+                    detail=f"pkey=0x{pkey.value:04x} entries={len(self.invalid_table)}",
+                )
         if not self.enabled:
             self.enabled = True
-            self.activations += 1
+            self.activations.inc()
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.engine.now, "sif_activated", self.scope,
+                    detail=f"pkey=0x{pkey.value:04x}",
+                )
         if not self._timer_armed:
             self._timer_armed = True
-            self._counter_at_last_check = self.violation_counter
+            self._counter_at_last_check = int(self.violation_counter)
             self.engine.schedule(self.idle_timeout_ps, self._idle_check)
 
     def _idle_check(self) -> None:
@@ -141,10 +188,15 @@ class SIFPortFilter:
             # disables ingress filtering by itself."
             self.enabled = False
             self.invalid_table.clear()
-            self.deactivations += 1
+            self.deactivations.inc()
             self._timer_armed = False
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.engine.now, "sif_deactivated", self.scope,
+                    detail=f"idle>{self.idle_timeout_ps}ps",
+                )
             return
-        self._counter_at_last_check = self.violation_counter
+        self._counter_at_last_check = int(self.violation_counter)
         self.engine.schedule(self.idle_timeout_ps, self._idle_check)
 
 
@@ -162,26 +214,44 @@ def install_enforcement(fabric, mode) -> None:
     if sm is None:
         raise RuntimeError("fabric has no subnet manager")
     subnet_indices = sm.valid_pkey_indices()
+    registry = getattr(fabric, "registry", None)
+    tracer = getattr(fabric, "tracer", None)
 
     if mode is EnforcementMode.NONE:
         return
     if mode is EnforcementMode.DPT:
         for sw in fabric.all_switches():
             for port in range(sw.num_ports):
-                sw.set_port_filter(port, DPTPortFilter(subnet_indices, cfg.pkey_lookup_ns))
+                sw.set_port_filter(
+                    port,
+                    DPTPortFilter(
+                        subnet_indices, cfg.pkey_lookup_ns,
+                        registry=registry, scope=f"filter.{sw.name}.p{port}",
+                    ),
+                )
         return
     # IF and SIF filter only at the HCA-facing ingress port.
     for lid in fabric.lids:
         sw = fabric.ingress_switch(lid)
         node_indices = sm.partitions_of(lid)
+        scope = f"filter.{sw.name}.p{HCA_PORT}"
         if mode is EnforcementMode.IF:
-            sw.set_port_filter(HCA_PORT, IngressPortFilter(node_indices, cfg.pkey_lookup_ns))
+            sw.set_port_filter(
+                HCA_PORT,
+                IngressPortFilter(
+                    node_indices, cfg.pkey_lookup_ns,
+                    registry=registry, scope=scope,
+                ),
+            )
         elif mode is EnforcementMode.SIF:
             filt = SIFPortFilter(
                 fabric.engine,
                 node_indices,
                 cfg.pkey_lookup_ns,
                 cfg.sif_idle_timeout_us,
+                registry=registry,
+                scope=scope,
+                tracer=tracer,
             )
             sw.set_port_filter(HCA_PORT, filt)
             sm.registration_hooks[int(lid)] = filt.register_invalid

@@ -30,6 +30,7 @@ from typing import Callable
 from repro.crypto.kdf import fresh_key
 from repro.crypto.rsa import RSAKeyPair, generate_keypair
 from repro.iba.packet import DataPacket
+from repro.sim.counters import CounterRegistry
 
 
 @dataclass
@@ -53,14 +54,20 @@ class NodeDirectory:
 class PartitionLevelKeyManager:
     """One secret key per partition, indexed by P_Key (Figure 2)."""
 
-    def __init__(self, directory: NodeDirectory, rng: random.Random) -> None:
+    def __init__(
+        self,
+        directory: NodeDirectory,
+        rng: random.Random,
+        registry: CounterRegistry | None = None,
+    ) -> None:
         self.directory = directory
         self.rng = rng
         #: partition index -> plaintext secret (the SM's master copy).
         self._sm_keys: dict[int, bytes] = {}
         #: per-node decrypted key tables: lid -> {pkey index -> secret}.
         self.node_tables: dict[int, dict[int, bytes]] = {}
-        self.distributions = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.distributions = self.registry.counter("keymgmt.distributions")
 
     def create_partition_key(self, index: int, member_lids: set[int]) -> bytes:
         """SM side: mint the partition secret and distribute it to members,
@@ -72,7 +79,7 @@ class PartitionLevelKeyManager:
             recovered = self.directory.private(lid).decrypt(ciphertext)
             assert recovered == secret  # the CA's decryption
             self.node_tables.setdefault(int(lid), {})[index] = recovered
-            self.distributions += 1
+            self.distributions.inc()
         return secret
 
     # -- AuthService KeyManager protocol -------------------------------------
@@ -103,6 +110,7 @@ class QPLevelKeyManager:
         directory: NodeDirectory,
         rng: random.Random,
         rtt_estimator: Callable[[int, int], int] | None = None,
+        registry: CounterRegistry | None = None,
     ) -> None:
         self.directory = directory
         self.rng = rng
@@ -111,7 +119,8 @@ class QPLevelKeyManager:
         self._receiver: dict[tuple[int, int, int, int], bytes] = {}
         self._rc_sender: dict[tuple[int, int, int], bytes] = {}
         self._rc_receiver: dict[tuple[int, int, int], bytes] = {}
-        self.exchanges = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.exchanges = self.registry.counter("keymgmt.exchanges")
 
     def register_rc_connection(self, src: int, src_qp: int, dst: int, dst_qp: int) -> bytes:
         """RC setup (Section 4.3 ¶1): the connection initiator mints the
@@ -128,7 +137,7 @@ class QPLevelKeyManager:
         # ...and the reverse direction of the same connection.
         self._rc_sender[(dst, src, src_qp)] = secret
         self._rc_receiver[(src, src_qp, dst)] = secret
-        self.exchanges += 1
+        self.exchanges.inc()
         return secret
 
     def _mint(self, src: int, src_qp: int, dst: int, dst_qp: int) -> bytes:
@@ -140,7 +149,7 @@ class QPLevelKeyManager:
         assert recovered == secret
         self._sender[(src, src_qp, dst, dst_qp)] = secret
         self._receiver[(dst, dst_qp, src, src_qp)] = recovered
-        self.exchanges += 1
+        self.exchanges.inc()
         return secret
 
     # -- AuthService KeyManager protocol -------------------------------------

@@ -84,10 +84,10 @@ def _run_forgery(auth: AuthMode, keymgmt: KeyMgmtMode, know_qkey: bool = True) -
         captured_qkey=victim_qp.qkey if know_qkey else None,
         mtu_bytes=cfg.mtu_bytes,
     )
-    before = victim_hca.delivered
+    before = int(victim_hca.delivered)
     inject_raw(attacker_hca, pkt)
     engine.run(until=round(100 * PS_PER_US))
-    return victim_hca.delivered > before
+    return int(victim_hca.delivered) > before
 
 
 def _management_forgery(protected: bool) -> bool:

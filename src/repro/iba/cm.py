@@ -21,6 +21,7 @@ from typing import Callable
 from repro.iba.keys import PKey
 from repro.iba.qp import QueuePair
 from repro.iba.types import LID, QPN, ServiceType
+from repro.sim.counters import CounterRegistry
 
 
 @dataclass
@@ -55,12 +56,15 @@ class ConnectionManager:
     #: management handshake legs: REQ, REP, RTU.
     HANDSHAKE_LEGS = 3
 
-    def __init__(self, fabric, key_manager=None) -> None:
+    def __init__(self, fabric, key_manager=None, registry=None) -> None:
         self.fabric = fabric
         self.key_manager = key_manager
         self._next_qpn = 0x10000
         self.connections: list[RCConnection] = []
-        self.handshakes_completed = 0
+        if registry is None:
+            registry = getattr(fabric, "registry", None) or CounterRegistry()
+        self.registry = registry
+        self.handshakes_completed = self.registry.counter("cm.handshakes_completed")
 
     def _alloc_qpn(self) -> QPN:
         qpn = QPN(self._next_qpn)
@@ -102,7 +106,7 @@ class ConnectionManager:
     def _establish(self, conn: RCConnection) -> None:
         conn.established = True
         conn.t_established_ps = self.fabric.engine.now
-        self.handshakes_completed += 1
+        self.handshakes_completed.inc()
         if self.key_manager is not None and hasattr(self.key_manager, "register_rc_connection"):
             # "a QP that initiates the connection creates a secret key and
             # sends it to a destination QP" — encrypted under the responder

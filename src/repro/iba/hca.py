@@ -27,8 +27,10 @@ from repro.iba.packet import DataPacket, TrapMAD
 from repro.iba.qp import QueuePair
 from repro.iba.types import LID, QPN, ServiceType, TrafficClass, class_for_vl
 from repro.iba.arbiter import PRIORITY_VLS
+from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_NS, PS_PER_US
 from repro.sim.metrics import LatencySample, MetricsCollector
+from repro.sim.trace import Tracer
 
 
 class AuthService(Protocol):
@@ -63,9 +65,14 @@ class HCA:
         metrics: MetricsCollector | None = None,
         warmup_ps: int = 0,
         trap_min_interval_us: float = 20.0,
+        registry: CounterRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.engine = engine
         self.lid = lid
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.tracer = tracer
+        self._trace_name = f"hca{int(lid)}"
         self.num_vls = num_vls
         self.processing_delay_ps = round(processing_delay_ns * PS_PER_NS)
         self.credit_return_delay_ps = round(credit_return_delay_ns * PS_PER_NS)
@@ -83,11 +90,13 @@ class HCA:
         self.qps: dict[QPN, QueuePair] = {}
         self.auth: AuthService | None = None
         self.replay_protection = False
-        self.pkey_violations = 0
-        self.qkey_violations = 0
-        self.auth_failures = 0
-        self.replay_drops = 0
-        self.delivered = 0
+        scope = f"hca.{int(lid)}"
+        self.pkey_violations = self.registry.counter(f"{scope}.pkey_violations")
+        self.qkey_violations = self.registry.counter(f"{scope}.qkey_violations")
+        self.auth_failures = self.registry.counter(f"{scope}.auth_failures")
+        self.replay_drops = self.registry.counter(f"{scope}.replay_drops")
+        self.delivered = self.registry.counter(f"{scope}.delivered")
+        self.traps_sent = self.registry.counter(f"{scope}.traps_sent")
         #: called with a TrapMAD to reach the SM (wired by the fabric builder).
         self.trap_sink: Callable[[TrapMAD], None] | None = None
         self._trap_min_interval_ps = round(trap_min_interval_us * PS_PER_US)
@@ -113,6 +122,10 @@ class HCA:
     def submit(self, packet: DataPacket) -> None:
         """Consumer posts a send work request.  ``t_created`` is now."""
         packet.t_created = self.engine.now
+        if self.tracer is not None:
+            self.tracer.record(
+                self.engine.now, "created", self._trace_name, packet.packet_id
+            )
         delay = 0
         if self.auth is not None:
             delay = self.auth.prepare(packet, self)
@@ -145,6 +158,10 @@ class HCA:
             if packet is None:
                 return
             packet.t_injected = self.engine.now
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.engine.now, "injected", self._trace_name, packet.packet_id
+                )
             link.send(packet)
 
     # --- receive path -----------------------------------------------------------
@@ -170,9 +187,9 @@ class HCA:
     def _check_and_deliver(self, packet: DataPacket) -> None:
         # 1. Partition membership (stock IBA check, plus trap on failure).
         if not self.keys.has_matching_pkey(packet.pkey):
-            self.pkey_violations += 1
+            self.pkey_violations.inc()
             self._maybe_trap(packet)
-            self._drop("pkey")
+            self._drop("pkey", packet)
             # The flood crossed the whole fabric before dying here — that is
             # the paper's availability complaint.  Figure 1 therefore times
             # attack packets at their discard point.
@@ -185,8 +202,8 @@ class HCA:
         qp = self.qps.get(packet.bth.dest_qp)
         if packet.service is ServiceType.UNRELIABLE_DATAGRAM:
             if qp is None or not qp.accepts_qkey(packet.qkey):
-                self.qkey_violations += 1
-                self._drop("qkey")
+                self.qkey_violations.inc()
+                self._drop("qkey", packet)
                 return
         else:  # RELIABLE_CONNECTION
             if (
@@ -194,21 +211,25 @@ class HCA:
                 or qp.connected_to is None
                 or int(qp.connected_to[0]) != int(packet.src)
             ):
-                self.qkey_violations += 1
-                self._drop("rc_peer")
+                self.qkey_violations.inc()
+                self._drop("rc_peer", packet)
                 return
         # 3. ICRC or authentication-tag verification.
         if self.auth is not None and not self.auth.verify(packet, self):
-            self.auth_failures += 1
-            self._drop("auth")
+            self.auth_failures.inc()
+            self._drop("auth", packet)
             return
         # 4. Optional replay (nonce) check — Section 7 extension.
         if self.replay_protection and qp is not None and packet.src_qp is not None:
             if not qp.check_replay(packet.src, packet.src_qp, packet.bth.psn):
-                self.replay_drops += 1
-                self._drop("replay")
+                self.replay_drops.inc()
+                self._drop("replay", packet)
                 return
-        self.delivered += 1
+        self.delivered.inc()
+        if self.tracer is not None:
+            self.tracer.record(
+                self.engine.now, "delivered", self._trace_name, packet.packet_id
+            )
         if not packet.is_attack or self.record_attack_packets:
             self._record_sample(packet)
 
@@ -226,9 +247,14 @@ class HCA:
             )
         )
 
-    def _drop(self, reason: str) -> None:
+    def _drop(self, reason: str, packet: DataPacket | None = None) -> None:
         if self.metrics is not None:
             self.metrics.record_drop(reason)
+        if self.tracer is not None and packet is not None:
+            self.tracer.record(
+                self.engine.now, "dropped", self._trace_name,
+                packet.packet_id, reason,
+            )
 
     def _maybe_trap(self, packet: DataPacket) -> None:
         """Send a P_Key-violation trap to the SM (rate-limited)."""
@@ -238,6 +264,12 @@ class HCA:
         if now - self._last_trap_ps < self._trap_min_interval_ps:
             return
         self._last_trap_ps = now
+        self.traps_sent.inc()
+        if self.tracer is not None:
+            self.tracer.record(
+                now, "trap_raised", self._trace_name, packet.packet_id,
+                f"offender={int(packet.src)} pkey=0x{packet.pkey.value:04x}",
+            )
         self.trap_sink(
             TrapMAD(
                 reporter=self.lid,

@@ -21,7 +21,9 @@ from __future__ import annotations
 from typing import Callable, Protocol
 
 from repro.iba.packet import DataPacket
+from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_NS
+from repro.sim.trace import Tracer
 
 
 class Receiver(Protocol):
@@ -53,6 +55,8 @@ class Link:
         "bytes_sent",
         "failed",
         "tap",
+        "registry",
+        "tracer",
     )
 
     def __init__(
@@ -65,6 +69,8 @@ class Link:
         num_vls: int,
         credits_per_vl: int,
         wire_delay_ns: float = 10.0,
+        registry: CounterRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.engine = engine
         self.name = name
@@ -78,8 +84,10 @@ class Link:
         self.on_free: Callable[[], None] | None = None
         #: sender callback: a credit for some VL returned.
         self.on_credit: Callable[[int], None] | None = None
-        self.packets_sent = 0
-        self.bytes_sent = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.tracer = tracer
+        self.packets_sent = self.registry.counter(f"link.{name}.packets_sent")
+        self.bytes_sent = self.registry.counter(f"link.{name}.bytes_sent")
         #: a failed link accepts no new packets (fault injection).
         self.failed = False
         #: passive eavesdropper hook: called with each packet at send time
@@ -94,9 +102,13 @@ class Link:
         (it has already left the transmitter); everything behind it waits
         until :meth:`restore`."""
         self.failed = True
+        if self.tracer is not None:
+            self.tracer.record(self.engine.now, "link_down", self.name)
 
     def restore(self) -> None:
         self.failed = False
+        if self.tracer is not None:
+            self.tracer.record(self.engine.now, "link_up", self.name)
         if self.on_credit is not None:
             self.on_credit(0)  # re-arm the sender's scheduler
         if self.on_free is not None and not self.busy:
@@ -118,8 +130,8 @@ class Link:
             self.tap(packet)
         self.credits[vl] -= 1
         self.busy = True
-        self.packets_sent += 1
-        self.bytes_sent += packet.wire_length
+        self.packets_sent.inc()
+        self.bytes_sent.inc(packet.wire_length)
         ser = self.serialization_ps(packet)
         self.engine.schedule(ser, self._complete, packet)
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.iba.keys import BKey, MKey, PKey
 from repro.iba.types import LID
+from repro.sim.counters import CounterRegistry
 
 
 class MadMethod(enum.Enum):
@@ -90,13 +91,14 @@ class PortAttributes:
 class ManagementAgent:
     """The SMA/BMA of one node: applies MADs against its port attributes."""
 
-    def __init__(self, attributes: PortAttributes) -> None:
+    def __init__(self, attributes: PortAttributes, registry: "CounterRegistry | None" = None) -> None:
         self.attributes = attributes
-        self.processed = 0
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.processed = self.registry.counter("mad.processed")
 
     def handle(self, smp: SMP) -> tuple[MadStatus, dict]:
         """Process one MAD; returns (status, response payload)."""
-        self.processed += 1
+        self.processed.inc()
         attrs = self.attributes
         if smp.attribute is MadAttribute.BM_CONTROL:
             # baseboard plane: B_Key gate

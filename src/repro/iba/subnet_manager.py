@@ -20,6 +20,7 @@ from typing import Callable
 from repro.iba.keys import MKey, PKey
 from repro.iba.packet import TrapMAD
 from repro.iba.types import LID
+from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_US
 
 
@@ -34,6 +35,7 @@ class SubnetManager:
         processing_us: float = 2.0,
         queue_limit: int = 64,
         mkey: MKey | None = None,
+        registry: CounterRegistry | None = None,
     ) -> None:
         self.engine = engine
         self.trap_latency_ps = round(trap_latency_us * PS_PER_US)
@@ -48,11 +50,12 @@ class SubnetManager:
         self.partitions: dict[int, set[int]] = {}
         self._queue: deque[TrapMAD] = deque()
         self._busy = False
-        # statistics
-        self.traps_received = 0
-        self.traps_processed = 0
-        self.traps_dropped = 0
-        self.registrations = 0
+        # statistics (registry-owned; see repro.sim.counters)
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.traps_received = self.registry.counter("sm.traps_received")
+        self.traps_processed = self.registry.counter("sm.traps_processed")
+        self.traps_dropped = self.registry.counter("sm.traps_dropped")
+        self.registrations = self.registry.counter("sm.registrations")
 
     # --- partition administration ------------------------------------------
 
@@ -74,12 +77,12 @@ class SubnetManager:
 
     def submit_trap(self, trap: TrapMAD) -> None:
         """Entry point HCAs call; models management-VL transit then queueing."""
-        self.traps_received += 1
+        self.traps_received.inc()
         self.engine.schedule(self.trap_latency_ps, self._arrive, trap)
 
     def _arrive(self, trap: TrapMAD) -> None:
         if len(self._queue) >= self.queue_limit:
-            self.traps_dropped += 1  # the SM-flood DoS shows up here
+            self.traps_dropped.inc()  # the SM-flood DoS shows up here
             return
         self._queue.append(trap)
         if not self._busy:
@@ -91,11 +94,11 @@ class SubnetManager:
             self._busy = False
             return
         trap = self._queue.popleft()
-        self.traps_processed += 1
+        self.traps_processed.inc()
         hook = self.registration_hooks.get(int(trap.offender))
         if hook is not None:
             hook(trap.bad_pkey, self.engine.now)
-            self.registrations += 1
+            self.registrations.inc()
         if self._queue:
             self.engine.schedule(self.processing_ps, self._process_next)
         else:

@@ -26,7 +26,9 @@ from repro.iba.arbiter import VLArbiter
 from repro.iba.buffers import InputBuffer
 from repro.iba.link import Link
 from repro.iba.packet import DataPacket
+from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_NS
+from repro.sim.trace import Tracer
 
 #: Port index that faces the attached HCA on every switch.
 HCA_PORT = 0
@@ -56,6 +58,8 @@ class Switch:
         routing_delay_ns: float,
         credit_return_delay_ns: float,
         arbiter_high_limit: int | None = None,
+        registry: CounterRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.engine = engine
         self.name = name
@@ -71,11 +75,17 @@ class Switch:
         self.filters: list[PortFilter | None] = [None] * num_ports
         self.route_table: dict[int, int] = {}  #: dest LID -> output port
         self.arbiter = VLArbiter(num_vls, high_limit=arbiter_high_limit)
-        # statistics
-        self.forwarded = 0
-        self.filtered_drops = 0
-        self.unroutable_drops = 0
-        self.lookup_stalls_ns = 0.0
+        #: packets received but still in the routing/enforcement pipeline
+        #: stage (packet_id -> packet).  A crashed switch leaks these too —
+        #: they are physically in the input buffer even before make_ready.
+        self._in_pipeline: dict[int, DataPacket] = {}
+        # statistics (registry-owned; see repro.sim.counters)
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.tracer = tracer
+        self.forwarded = self.registry.counter(f"switch.{name}.forwarded")
+        self.filtered_drops = self.registry.counter(f"switch.{name}.filtered_drops")
+        self.unroutable_drops = self.registry.counter(f"switch.{name}.unroutable_drops")
+        self.lookup_stalls_ns = self.registry.gauge(f"switch.{name}.lookup_stalls_ns")
 
     # --- wiring -----------------------------------------------------------
 
@@ -95,23 +105,44 @@ class Switch:
     def receive(self, packet: DataPacket, in_port: int) -> None:
         """Packet fully arrived at *in_port* (store-and-forward)."""
         self.inputs[in_port].begin_processing(packet.vl)
+        self._in_pipeline[packet.packet_id] = packet
+        if self.tracer is not None:
+            self.tracer.record(
+                self.engine.now, "switch_rx", self.name, packet.packet_id,
+                f"port {in_port}",
+            )
         extra_ns = 0.0
         accept = True
         policy = self.filters[in_port]
         if policy is not None:
             accept, extra_ns = policy.process(packet, self.engine.now)
-            self.lookup_stalls_ns += extra_ns
+            self.lookup_stalls_ns.add(extra_ns)
         delay = self.routing_delay_ps + round(extra_ns * PS_PER_NS)
         self.engine.schedule(delay, self._pipeline_done, packet, in_port, accept)
 
+    def pipeline_packets(self) -> list[DataPacket]:
+        """Packets currently in the routing/enforcement pipeline stage."""
+        return list(self._in_pipeline.values())
+
     def _pipeline_done(self, packet: DataPacket, in_port: int, accept: bool) -> None:
+        self._in_pipeline.pop(packet.packet_id, None)
         if not accept:
-            self.filtered_drops += 1
+            self.filtered_drops.inc()
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.engine.now, "filtered", self.name, packet.packet_id,
+                    f"port {in_port}",
+                )
             self._release_slot(in_port, packet.vl)
             return
         out_port = self.route_table.get(int(packet.dst))
         if out_port is None or self.out_links[out_port] is None:
-            self.unroutable_drops += 1
+            self.unroutable_drops.inc()
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.engine.now, "unroutable", self.name, packet.packet_id,
+                    f"port {in_port}",
+                )
             self._release_slot(in_port, packet.vl)
             return
         self.inputs[in_port].make_ready(packet, out_port)
@@ -136,7 +167,7 @@ class Switch:
                     new_port = self.route_table.get(int(entry.packet.dst))
                     link = self.out_links[new_port] if new_port is not None else None
                     if link is None or link.failed:
-                        self.unroutable_drops += 1
+                        self.unroutable_drops.inc()
                         dropped += 1
                         if upstream is not None:
                             self.engine.schedule(
@@ -189,7 +220,12 @@ class Switch:
                 if uncovered is not None and uncovered.out_port != port:
                     work.add(uncovered.out_port)
                 link.send(entry.packet)
-                self.forwarded += 1
+                self.forwarded.inc()
+                if self.tracer is not None:
+                    self.tracer.record(
+                        self.engine.now, "forwarded", self.name,
+                        entry.packet.packet_id, f"port {port}",
+                    )
                 # The input slot stays occupied until the outgoing
                 # transmission completes; only then does the credit travel
                 # back upstream.

@@ -21,8 +21,10 @@ from repro.iba.subnet_manager import SubnetManager
 from repro.iba.switch import HCA_PORT, Switch
 from repro.iba.types import LID
 from repro.sim.config import SimConfig
+from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine
 from repro.sim.metrics import MetricsCollector
+from repro.sim.trace import Tracer
 
 #: Mesh port numbering on every switch.
 PORT_EAST, PORT_WEST, PORT_NORTH, PORT_SOUTH = 1, 2, 3, 4
@@ -48,6 +50,10 @@ class Fabric:
     #: LID -> (switch coordinates) of the node's ingress switch.
     ingress_of: dict[int, tuple[int, int]] = field(default_factory=dict)
     sm: SubnetManager | None = None
+    #: single namespace every component's statistics live in.
+    registry: CounterRegistry = field(default_factory=CounterRegistry)
+    #: lifecycle event bus (None = tracing off, zero overhead).
+    tracer: Tracer | None = None
 
     @property
     def lids(self) -> list[int]:
@@ -68,10 +74,25 @@ def node_lid(x: int, y: int, width: int) -> LID:
     return LID(1 + y * width + x)
 
 
-def build_mesh(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> Fabric:
-    """Construct the width×height mesh fabric described by *config*."""
+def build_mesh(
+    engine: Engine,
+    config: SimConfig,
+    metrics: MetricsCollector,
+    registry: CounterRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Fabric:
+    """Construct the width×height mesh fabric described by *config*.
+
+    All components register their statistics into one shared *registry*
+    (created here when not supplied) and, when *tracer* is given, emit
+    lifecycle events into it natively.
+    """
     config.validate()
-    fabric = Fabric(engine=engine, config=config, metrics=metrics)
+    fabric = Fabric(
+        engine=engine, config=config, metrics=metrics,
+        registry=registry if registry is not None else CounterRegistry(),
+        tracer=tracer,
+    )
     w, h = config.mesh_width, config.mesh_height
     byte_ps = config.byte_time_ps
 
@@ -87,6 +108,8 @@ def build_mesh(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> 
                 routing_delay_ns=config.switch_routing_delay_ns,
                 credit_return_delay_ns=config.credit_return_delay_ns,
                 arbiter_high_limit=config.vl_arbitration_high_limit,
+                registry=fabric.registry,
+                tracer=tracer,
             )
             fabric.switches[(x, y)] = sw
             lid = node_lid(x, y, w)
@@ -99,6 +122,8 @@ def build_mesh(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> 
                 credit_return_delay_ns=config.credit_return_delay_ns,
                 metrics=metrics,
                 warmup_ps=config.warmup_ps,
+                registry=fabric.registry,
+                tracer=tracer,
             )
             fabric.hcas[int(lid)] = hca
             fabric.ingress_of[int(lid)] = (x, y)
@@ -110,12 +135,14 @@ def build_mesh(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> 
         up = Link(
             engine, f"hca{int(lid)}->sw({x},{y})", byte_ps, sw, HCA_PORT,
             config.num_vls, config.vl_buffer_packets, config.wire_delay_ns,
+            registry=fabric.registry, tracer=tracer,
         )
         hca.attach_out_link(up)
         sw.attach_in_link(HCA_PORT, up)
         down = Link(
             engine, f"sw({x},{y})->hca{int(lid)}", byte_ps, hca, 0,
             config.num_vls, config.vl_buffer_packets, config.wire_delay_ns,
+            registry=fabric.registry, tracer=tracer,
         )
         sw.attach_out_link(HCA_PORT, down)
         hca.attach_in_link(down)
@@ -131,6 +158,7 @@ def build_mesh(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> 
                 engine, f"sw({x},{y})->sw({nx},{ny})", byte_ps,
                 neighbour, _OPPOSITE[port], config.num_vls,
                 config.vl_buffer_packets, config.wire_delay_ns,
+                registry=fabric.registry, tracer=tracer,
             )
             sw.attach_out_link(port, link)
             neighbour.attach_in_link(_OPPOSITE[port], link)
@@ -154,10 +182,16 @@ def build_mesh(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> 
     return fabric
 
 
-def build_line(engine: Engine, config: SimConfig, metrics: MetricsCollector) -> Fabric:
+def build_line(
+    engine: Engine,
+    config: SimConfig,
+    metrics: MetricsCollector,
+    registry: CounterRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Fabric:
     """1×N line fabric (config.mesh_height forced to 1) for unit tests."""
     cfg = config.replace(mesh_height=1)
-    return build_mesh(engine, cfg, metrics)
+    return build_mesh(engine, cfg, metrics, registry=registry, tracer=tracer)
 
 
 def path_length(fabric: Fabric, src: int, dst: int) -> int:

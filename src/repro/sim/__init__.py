@@ -10,8 +10,10 @@ RNG streams (:mod:`repro.sim.rng`), latency/queuing statistics
 (:mod:`repro.sim.runner`).
 """
 
+from repro.sim.counters import Counter, CounterRegistry
 from repro.sim.engine import Engine, Event
 from repro.sim.rng import RngStreams
+from repro.sim.trace import NO_PACKET, TraceEvent, Tracer
 from repro.sim.metrics import (
     StatAccumulator,
     LatencySample,
@@ -39,8 +41,13 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "Counter",
+    "CounterRegistry",
     "Engine",
     "Event",
+    "NO_PACKET",
+    "TraceEvent",
+    "Tracer",
     "RngStreams",
     "StatAccumulator",
     "LatencySample",

@@ -120,14 +120,20 @@ class Engine:
         """Run events until the queue empties, *until* (ps) passes, or
         *max_events* have fired — whichever comes first.
 
-        ``until`` is inclusive of events stamped exactly at that time; the
-        clock is advanced to ``until`` afterwards so follow-on scheduling is
-        well-defined.
+        ``until`` is inclusive of events stamped exactly at that time.  The
+        clock advances to ``until`` afterwards so follow-on scheduling is
+        well-defined — *unless* ``max_events`` cut the run short while work
+        stamped at or before ``until`` is still pending.  In that case the
+        clock stays at the last processed event, so another ``run(until=...)``
+        call resumes exactly where the budget ran out instead of silently
+        skipping over the unprocessed events' timestamps.
         """
         count = 0
+        budget_hit = False
         while self._queue:
             if max_events is not None and count >= max_events:
-                return
+                budget_hit = True
+                break
             nxt = self.peek_time()
             if nxt is None:
                 break
@@ -136,4 +142,8 @@ class Engine:
             self.step()
             count += 1
         if until is not None and self._now < until:
+            if budget_hit:
+                nxt = self.peek_time()
+                if nxt is not None and nxt <= until:
+                    return  # pending work before `until` — clock must not jump it
             self._now = until

@@ -43,7 +43,8 @@ class FaultInjector:
     fabric: Fabric
     failed_links: list[Link] = field(default_factory=list)
     crashed: list[str] = field(default_factory=list)
-    taps: dict[str, list[DataPacket]] = field(default_factory=dict)
+    #: link name -> one capture list per registered eavesdropper.
+    _tap_lists: dict[str, list[list[DataPacket]]] = field(default_factory=dict)
 
     # -- link faults --------------------------------------------------------
 
@@ -97,6 +98,12 @@ class FaultInjector:
                 for attr in ("table", "partition_table"):
                     for idx in getattr(filt, attr, ()):  # type: ignore[union-attr]
                         pkeys.add(PKey(idx | PKey.FULL_MEMBER_BIT))
+            # packets still in the routing/enforcement pipeline stage are
+            # physically in the input buffers too — they leak just the same
+            for packet in switch.pipeline_packets():
+                pkeys.add(packet.pkey)
+                if packet.qkey is not None:
+                    qkeys.add(packet.qkey)
             self.crashed.append(switch.name)
             if on_leak is not None:
                 on_leak(LeakedKeys(switch.name, frozenset(pkeys), frozenset(qkeys)))
@@ -110,19 +117,45 @@ class FaultInjector:
 
     def tap_link(self, link: Link) -> list[DataPacket]:
         """Attach a passive eavesdropper to *link*; returns the (live) list
-        of captured packets.  "A packet can be captured on the link"."""
+        of captured packets.  "A packet can be captured on the link".
+
+        Multiple eavesdroppers may tap the same link — each call returns an
+        independent capture list and every registered tap sees every packet
+        (a second tap no longer silently replaces the first).
+        """
         captured: list[DataPacket] = []
-        self.taps[link.name] = captured
-        link.tap = captured.append
+        listeners = self._tap_lists.setdefault(link.name, [])
+        listeners.append(captured)
+        if len(listeners) == 1:
+            # first tap on this link: install the fan-out dispatcher once
+            def dispatch(packet: DataPacket, _listeners=listeners) -> None:
+                for sink in _listeners:
+                    sink.append(packet)
+
+            link.tap = dispatch
         return captured
+
+    @property
+    def taps(self) -> dict[str, list[DataPacket]]:
+        """Merged view of every tap's captures per link (capture order)."""
+        merged: dict[str, list[DataPacket]] = {}
+        for name, listeners in self._tap_lists.items():
+            if len(listeners) == 1:
+                merged[name] = listeners[0]
+            else:
+                # all listeners see the same packets; the first is canonical
+                merged[name] = list(listeners[0]) if listeners else []
+        return merged
 
     def captured_keys(self, link_name: str) -> tuple[set[PKey], set[QKey]]:
         """Plaintext keys readable from a tap's captures — exactly what
-        Table 3's attacker starts from."""
+        Table 3's attacker starts from.  Unions over *all* eavesdroppers
+        registered on the link."""
         pkeys: set[PKey] = set()
         qkeys: set[QKey] = set()
-        for pkt in self.taps.get(link_name, []):
-            pkeys.add(pkt.pkey)
-            if pkt.qkey is not None:
-                qkeys.add(pkt.qkey)
+        for captured in self._tap_lists.get(link_name, []):
+            for pkt in captured:
+                pkeys.add(pkt.pkey)
+                if pkt.qkey is not None:
+                    qkeys.add(pkt.qkey)
         return pkeys, qkeys

@@ -24,6 +24,7 @@ from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
 from repro.sim.engine import Engine, PS_PER_US
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
 from repro.sim.traffic import BestEffortSource, Peer, RealtimeSource
 
 
@@ -71,6 +72,24 @@ class SimReport:
     peers are all attackers never start one, so this can be less than
     ``num_nodes - num_attackers``."""
     metrics: MetricsSummary | None = field(default=None, repr=False)
+    counters: dict[str, int | float] = field(default_factory=dict, repr=False)
+    """Full :class:`~repro.sim.counters.CounterRegistry` snapshot of the
+    run — every named statistic of every component, as plain numbers, so
+    the complete counter state survives pickling across the parallel-sweep
+    process boundary and the on-disk run cache."""
+
+    def counter(self, name: str) -> int | float:
+        """One counter from the snapshot (0 when absent)."""
+        return self.counters.get(name, 0)
+
+    def counter_total(self, pattern: str) -> int | float:
+        """Sum of snapshot counters whose name matches the glob *pattern*
+        (e.g. ``filter.*.activations``)."""
+        from fnmatch import fnmatchcase
+
+        return sum(
+            v for k, v in self.counters.items() if fnmatchcase(k, pattern)
+        )
 
     def cls(self, name: str) -> ClassStats:
         return self.stats.get(
@@ -137,19 +156,24 @@ def estimate_rtt_ps(fabric: Fabric, src: int, dst: int) -> int:
     return 2 * one_way
 
 
-def build_experiment(config: SimConfig):
+def build_experiment(config: SimConfig, tracer: Tracer | None = None):
     """Construct (engine, fabric, sources, attackers) without running.
 
     Split from :func:`run_simulation` so tests can poke at intermediate
-    state and examples can drive the fabric interactively.
+    state and examples can drive the fabric interactively.  *tracer*
+    (optional) is wired into every component as the lifecycle event bus.
     """
     config.validate()
     engine = Engine()
     metrics = MetricsCollector(keep_samples=config.keep_samples)
-    fabric = build_mesh(engine, config, metrics)
+    fabric = build_mesh(engine, config, metrics, tracer=tracer)
     streams = RngStreams(config.seed)
 
-    sm = SubnetManager(engine, trap_latency_us=config.sm_trap_latency_us)
+    sm = SubnetManager(
+        engine,
+        trap_latency_us=config.sm_trap_latency_us,
+        registry=fabric.registry,
+    )
     fabric.sm = sm
     for hca in fabric.hcas.values():
         hca.trap_sink = sm.submit_trap
@@ -199,7 +223,9 @@ def build_experiment(config: SimConfig):
             lids, streams.get("rsa"), bits=config.rsa_bits
         )
         if config.keymgmt is KeyMgmtMode.PARTITION:
-            key_manager = PartitionLevelKeyManager(directory, streams.get("pkeys"))
+            key_manager = PartitionLevelKeyManager(
+                directory, streams.get("pkeys"), registry=fabric.registry
+            )
             for index, members in sm.partitions.items():
                 key_manager.create_partition_key(index, members)
         else:
@@ -208,7 +234,9 @@ def build_experiment(config: SimConfig):
                 if config.qp_key_exchange_rtt
                 else (lambda a, b: 0)
             )
-            key_manager = QPLevelKeyManager(directory, streams.get("qpkeys"), rtt)
+            key_manager = QPLevelKeyManager(
+                directory, streams.get("qpkeys"), rtt, registry=fabric.registry
+            )
 
     if config.auth is AuthMode.ICRC:
         auth = IcrcAuthService()
@@ -217,6 +245,7 @@ def build_experiment(config: SimConfig):
             auth_function_for(config.auth),
             key_manager,
             mac_stage_delay_ns=config.mac_stage_delay_ns,
+            registry=fabric.registry,
         )
     for hca in fabric.hcas.values():
         hca.auth = auth
@@ -285,6 +314,7 @@ def build_experiment(config: SimConfig):
             classes=config.attacker_classes, valid_pkey=valid_pkey,
             backlog=config.attacker_backlog,
             dest_strategy=config.attack_dest_strategy,
+            registry=fabric.registry,
         )
         flooder.start()
         flooders.append(flooder)
@@ -292,10 +322,16 @@ def build_experiment(config: SimConfig):
     return engine, fabric, sources, flooders, windows, key_manager
 
 
-def run_simulation(config: SimConfig) -> SimReport:
-    """Run one experiment end to end and return its report."""
+def run_simulation(config: SimConfig, tracer: Tracer | None = None) -> SimReport:
+    """Run one experiment end to end and return its report.
+
+    *tracer* (optional) receives the run's lifecycle events; the report
+    itself always carries the full counter-registry snapshot.
+    """
     t0 = time.perf_counter()
-    engine, fabric, sources, flooders, windows, key_manager = build_experiment(config)
+    engine, fabric, sources, flooders, windows, key_manager = build_experiment(
+        config, tracer=tracer
+    )
     engine.run(until=config.sim_time_ps)
     wall = time.perf_counter() - t0
 
@@ -316,32 +352,23 @@ def run_simulation(config: SimConfig) -> SimReport:
             senders["best_effort"] += 1
         elif isinstance(src, RealtimeSource):
             senders["realtime"] += 1
-    switch_filtered = sum(sw.filtered_drops for sw in fabric.all_switches())
-    switch_lookups = 0
-    sif_act = sif_deact = 0
-    for sw in fabric.all_switches():
-        for filt in sw.filters:
-            if filt is None:
-                continue
-            switch_lookups += getattr(filt, "lookups", 0)
-            sif_act += getattr(filt, "activations", 0)
-            sif_deact += getattr(filt, "deactivations", 0)
-    sm = fabric.sm
+    registry = fabric.registry
     return SimReport(
         config=config,
         stats=stats,
         drops=dict(metrics.dropped),
         delivered=metrics.delivered,
         attack_windows=windows,
-        switch_filtered=switch_filtered,
-        switch_lookups=switch_lookups,
-        sif_activations=sif_act,
-        sif_deactivations=sif_deact,
-        traps_received=sm.traps_received if sm else 0,
-        traps_processed=sm.traps_processed if sm else 0,
-        key_exchanges=getattr(key_manager, "exchanges", 0),
+        switch_filtered=int(registry.total("switch.*.filtered_drops")),
+        switch_lookups=int(registry.total("filter.*.lookups")),
+        sif_activations=int(registry.total("filter.*.activations")),
+        sif_deactivations=int(registry.total("filter.*.deactivations")),
+        traps_received=int(registry.get("sm.traps_received")),
+        traps_processed=int(registry.get("sm.traps_processed")),
+        key_exchanges=int(getattr(key_manager, "exchanges", 0)),
         events_processed=engine.events_processed,
         wall_seconds=wall,
         senders=senders,
         metrics=metrics.summary() if config.keep_samples else None,
+        counters=registry.snapshot(),
     )

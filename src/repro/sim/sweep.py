@@ -61,7 +61,10 @@ from repro.sim.runner import SimReport, run_simulation
 
 #: bump when SimReport/SimConfig change shape enough to invalidate old
 #: cached pickles.
-CACHE_VERSION = 1
+#: Bump whenever SimReport's shape or semantics change — v2 added the
+#: counter-registry snapshot (``SimReport.counters``), making pre-v2 cached
+#: pickles incomplete.
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 

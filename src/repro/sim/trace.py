@@ -1,50 +1,119 @@
-"""Packet-lifecycle tracing — optional observability for debugging runs.
+"""Structured trace export — the fabric's lifecycle event bus.
 
-A :class:`Tracer` subscribes to lifecycle events (created, injected, hop,
-filtered, delivered, dropped) and records them with timestamps.  The fabric
-itself stays trace-free; tests and tools wrap the objects they care about
-with :func:`attach_hca_tracer` / :func:`attach_switch_tracer`, which
-decorate methods non-invasively.
+A :class:`Tracer` is wired into the fabric at build time
+(``build_experiment(cfg, tracer=...)`` / ``run_simulation(cfg,
+tracer=...)``) and receives lifecycle events natively from every
+component in the data and control paths:
 
-Useful for answering "where did packet 1234 die?" and for the examples'
-step-by-step narratives.
+====================  ======================================================
+packet lifecycle      ``created``, ``injected``, ``switch_rx``,
+                      ``forwarded``, ``filtered``, ``unroutable``,
+                      ``delivered``, ``dropped``
+security control      ``trap_raised`` (HCA → SM P_Key-violation trap),
+                      ``sif_registered`` (SM registered a P_Key at the
+                      ingress filter), ``sif_activated``,
+                      ``sif_deactivated`` (idle age-out)
+faults                ``link_down``, ``link_up``
+====================  ======================================================
+
+Control-plane events carry ``packet_id = -1``; everything has an integer
+picosecond timestamp.  ``max_events`` turns the tracer into a bounded
+ring buffer (oldest events evicted) so long production-scale runs can
+keep tracing on with O(1) memory.  :meth:`Tracer.to_jsonl` /
+:meth:`Tracer.jsonl_lines` export the buffer as JSON Lines — one event
+object per line — for offline analysis and the ``repro-sim trace`` CLI.
+
+The legacy :func:`attach_hca_tracer` / :func:`attach_switch_tracer`
+decorators remain for tracing a fabric that was built *without* a tracer;
+a fabric built with one must not also be wrapped (events would double).
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
+from typing import IO, Iterator
 
 from repro.sim.engine import PS_PER_US
+
+#: packet_id used by events that are not about one packet (SIF state
+#: changes, link faults).
+NO_PACKET = -1
 
 
 @dataclass(frozen=True)
 class TraceEvent:
     time_ps: int
-    kind: str  #: created | injected | switch_rx | filtered | delivered | dropped
-    where: str
-    packet_id: int
+    kind: str  #: see the taxonomy table in the module docstring
+    where: str  #: component instance, e.g. ``hca3``, ``s1x0``, ``s1x0.p0``
+    packet_id: int = NO_PACKET
     detail: str = ""
 
     @property
     def time_us(self) -> float:
         return self.time_ps / PS_PER_US
 
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "time_ps": self.time_ps,
+                "time_us": self.time_us,
+                "kind": self.kind,
+                "where": self.where,
+                "packet_id": self.packet_id,
+                "detail": self.detail,
+            },
+            separators=(",", ":"),
+        )
+
 
 @dataclass
 class Tracer:
-    """Accumulates :class:`TraceEvent` records."""
+    """Accumulates :class:`TraceEvent` records (list or bounded ring)."""
 
-    events: list[TraceEvent] = field(default_factory=list)
-    #: restrict recording to these packet ids (None = everything).
+    events: "list[TraceEvent] | deque[TraceEvent]" = field(default_factory=list)
+    #: restrict recording of *packet* events to these ids (None =
+    #: everything).  Control-plane events (packet_id == NO_PACKET) are
+    #: always recorded.
     watch: set[int] | None = None
+    #: ring-buffer capacity; None = unbounded list.
+    max_events: int | None = None
+    #: total events offered to record() (admitted or evicted) — lets a
+    #: ring-mode consumer detect truncation.
+    seen: int = 0
 
-    def record(self, time_ps: int, kind: str, where: str, packet_id: int, detail: str = "") -> None:
-        if self.watch is not None and packet_id not in self.watch:
+    def __post_init__(self) -> None:
+        if self.max_events is not None and not isinstance(self.events, deque):
+            self.events = deque(self.events, maxlen=self.max_events)
+
+    def record(
+        self,
+        time_ps: int,
+        kind: str,
+        where: str,
+        packet_id: int = NO_PACKET,
+        detail: str = "",
+    ) -> None:
+        if (
+            self.watch is not None
+            and packet_id != NO_PACKET
+            and packet_id not in self.watch
+        ):
             return
+        self.seen += 1
         self.events.append(TraceEvent(time_ps, kind, where, packet_id, detail))
+
+    @property
+    def truncated(self) -> bool:
+        """True when ring mode has evicted at least one event."""
+        return len(self.events) < self.seen
 
     def for_packet(self, packet_id: int) -> list[TraceEvent]:
         return [e for e in self.events if e.packet_id == packet_id]
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind in kinds]
 
     def kinds(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -54,14 +123,37 @@ class Tracer:
 
     def timeline(self, packet_id: int) -> str:
         lines = [
-            f"{e.time_us:10.3f} us  {e.kind:<10} {e.where:<16} {e.detail}"
+            f"{e.time_us:10.3f} us  {e.kind:<12} {e.where:<16} {e.detail}"
             for e in self.for_packet(packet_id)
         ]
         return "\n".join(lines)
 
+    # -- export ------------------------------------------------------------
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """The buffer as JSON Lines (insertion order = time order)."""
+        for e in self.events:
+            yield e.to_json()
+
+    def to_jsonl(self, out: "str | IO[str]") -> int:
+        """Write the buffer to *out* (a path or an open text file).
+        Returns the number of events written."""
+        n = 0
+        if isinstance(out, str):
+            with open(out, "w", encoding="utf-8") as f:
+                return self.to_jsonl(f)
+        for line in self.jsonl_lines():
+            out.write(line + "\n")
+            n += 1
+        return n
+
 
 def attach_hca_tracer(hca, tracer: Tracer) -> None:
-    """Wrap an HCA's submit/inject/deliver path with trace records."""
+    """Wrap an HCA's submit/inject/deliver path with trace records.
+
+    For fabrics built without a native tracer only — a natively traced
+    HCA already emits these events itself.
+    """
     original_submit = hca.submit
     original_check = hca._check_and_deliver
 
@@ -70,7 +162,7 @@ def attach_hca_tracer(hca, tracer: Tracer) -> None:
         original_submit(packet)
 
     def traced_check(packet):
-        before = hca.delivered
+        before = int(hca.delivered)
         original_check(packet)
         if hca.delivered > before:
             tracer.record(
@@ -102,7 +194,8 @@ def attach_hca_tracer(hca, tracer: Tracer) -> None:
 
 
 def attach_switch_tracer(switch, tracer: Tracer) -> None:
-    """Wrap a switch's receive/drop path with trace records."""
+    """Wrap a switch's receive/drop path with trace records (legacy —
+    see :func:`attach_hca_tracer`)."""
     original_receive = switch.receive
     original_pipeline = switch._pipeline_done
 

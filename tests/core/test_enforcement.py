@@ -182,3 +182,34 @@ class TestInstallEnforcement:
         sm = fabric.sm
         filt = fabric.all_switches()[0].filters[0]
         assert filt.table == sm.valid_pkey_indices()
+
+
+class TestSIFSprayRegression:
+    """Bugfix: `register_invalid` must stop inserting once whitelist mode
+    is reached — a wide P_Key spray used to grow Invalid_P_Key_Table
+    without bound, defeating the paper's own table-size rationale."""
+
+    def test_invalid_table_bounded_under_10k_pkey_spray(self, engine):
+        partitions = {1, 2, 3}
+        f = SIFPortFilter(engine, partitions, lookup_ns=25.0, idle_timeout_us=1e6)
+        for i in range(10_000):
+            f.register_invalid(PKey((i + 1) | PKey.FULL_MEMBER_BIT), engine.now)
+        assert len(f.invalid_table) <= len(f.partition_table)
+        assert f.whitelist_mode
+        assert f.enabled
+
+    def test_rejected_registrations_counted(self, engine):
+        f = SIFPortFilter(engine, {1}, lookup_ns=25.0, idle_timeout_us=1e6)
+        for i in range(50):
+            f.register_invalid(PKey((i + 1) | PKey.FULL_MEMBER_BIT), engine.now)
+        assert len(f.invalid_table) == 1  # parity with the partition table
+        assert f.rejected_registrations == 49
+
+    def test_whitelist_still_rejects_sprayed_pkeys(self, engine):
+        """The bound loses nothing: whitelist mode already drops every
+        P_Key outside the partition table, registered or not."""
+        f = SIFPortFilter(engine, {1, 2}, lookup_ns=25.0, idle_timeout_us=1e6)
+        for i in range(100):
+            f.register_invalid(PKey((i + 10) | PKey.FULL_MEMBER_BIT), engine.now)
+        assert not f.process(make_packet(pkey=PKey(0x5000 | PKey.FULL_MEMBER_BIT)), engine.now)[0]
+        assert f.process(make_packet(pkey=PKey(0x0001 | PKey.FULL_MEMBER_BIT)), engine.now)[0]

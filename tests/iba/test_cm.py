@@ -130,7 +130,7 @@ class TestRCKeyExchange:
         cfg, engine, fabric, keymgr = rc_fabric(AuthMode.UMAC, KeyMgmtMode.QP)
         cm = ConnectionManager(fabric, key_manager=keymgr)
         pkey = next(iter(fabric.hca(1).qps.values())).pkey
-        before = keymgr.exchanges
+        before = int(keymgr.exchanges)
         conn = cm.connect(fabric.hca(1).lid, fabric.hca(4).lid, pkey)
         engine.run(until=round(100 * PS_PER_US))
         assert keymgr.exchanges == before + 1

@@ -139,7 +139,7 @@ class TestWireTap:
             attacker_hca = fabric.hca(attacker)
             attacker_qp = next(iter(attacker_hca.qps.values()))
             target_hca = fabric.hca(int(sample.dst))
-            before = target_hca.delivered
+            before = int(target_hca.delivered)
             pkt = forge_packet(
                 attacker_hca, attacker_qp, sample.dst, sample.bth.dest_qp,
                 sample.pkey, sample.qkey, cfg.mtu_bytes,
@@ -150,3 +150,79 @@ class TestWireTap:
             outcomes[auth] = target_hca.auth_failures
         assert outcomes[AuthMode.ICRC] == 0  # forgery sailed through
         assert outcomes[AuthMode.UMAC] >= 1  # forgery caught by the tag
+
+
+class TestCrashPipelineLeak:
+    """Bugfix: crash_switch used to scrape only `fifo.ready` entries,
+    missing packets still in the routing/enforcement pipeline stage."""
+
+    def test_in_pipeline_packet_keys_leak(self):
+        from tests.conftest import make_packet
+        from repro.iba.keys import PKey, QKey
+
+        cfg, engine, fabric, *_ = experiment(enable_best_effort=False)
+        sw = fabric.switches[(1, 1)]
+        pkt = make_packet(pkey=PKey(0x8321), qkey=QKey(0xBEEF))
+        sw.receive(pkt, 1)  # enters the pipeline; no engine.run → stays there
+        assert sw.pipeline_packets() == [pkt]
+        # the old scrape would have seen nothing: no FIFO has it ready yet
+        assert all(
+            not fifo.ready for buf in sw.inputs for fifo in buf.fifos
+        )
+        leaks = []
+        injector = FaultInjector(fabric)
+        injector.crash_switch((1, 1), on_leak=leaks.append)
+        (leak,) = leaks
+        assert pkt.pkey in leak.pkeys
+        assert pkt.qkey in leak.qkeys
+
+    def test_live_crash_leak_covers_pipeline_contents(self):
+        """Whatever is in the pipeline at crash time must be in the leak."""
+        cfg, engine, fabric, *_ = experiment(best_effort_load=0.4)
+        sw = fabric.switches[(1, 1)]
+        injector = FaultInjector(fabric)
+        seen = {}
+
+        def on_leak(leak):
+            seen["leak"] = leak
+            seen["pipeline_pkeys"] = {p.pkey for p in sw.pipeline_packets()}
+
+        injector.crash_switch((1, 1), at_ps=round(50 * PS_PER_US),
+                              on_leak=on_leak)
+        engine.run(until=cfg.sim_time_ps)
+        assert seen["leak"].pkeys >= seen["pipeline_pkeys"]
+
+
+class TestMultipleEavesdroppers:
+    """Bugfix: a second tap_link on the same link used to silently replace
+    the first eavesdropper's hook."""
+
+    def test_both_taps_see_every_packet(self):
+        cfg, engine, fabric, *_ = experiment()
+        injector = FaultInjector(fabric)
+        link = fabric.hca(1).out_link
+        first = injector.tap_link(link)
+        second = injector.tap_link(link)
+        engine.run(until=cfg.sim_time_ps)
+        assert len(first) > 0
+        assert [p.packet_id for p in first] == [p.packet_id for p in second]
+
+    def test_captured_keys_unions_all_taps(self):
+        cfg, engine, fabric, *_ = experiment()
+        injector = FaultInjector(fabric)
+        link = fabric.hca(1).out_link
+        first = injector.tap_link(link)
+        second = injector.tap_link(link)
+        engine.run(until=cfg.sim_time_ps)
+        pkeys, qkeys = injector.captured_keys(link.name)
+        expect_pkeys = {p.pkey for p in first} | {p.pkey for p in second}
+        assert pkeys == expect_pkeys
+        assert len(qkeys) > 0
+
+    def test_taps_view_still_maps_link_to_captures(self):
+        cfg, engine, fabric, *_ = experiment()
+        injector = FaultInjector(fabric)
+        link = fabric.hca(1).out_link
+        captured = injector.tap_link(link)
+        engine.run(until=round(100 * PS_PER_US))
+        assert injector.taps[link.name] == captured

@@ -66,7 +66,7 @@ class TestScopedProtection:
                 victim.lid, victim_qp.qpn, victim_qp.pkey, victim_qp.qkey,
                 cfg.mtu_bytes,
             )
-            before = victim.delivered
+            before = int(victim.delivered)
             inject_raw(attacker, pkt)
             horizon = engine.now + round(150 * PS_PER_US)
             engine.run(until=horizon)

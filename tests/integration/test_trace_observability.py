@@ -1,0 +1,109 @@
+"""Observability e2e: the SIF lifecycle as told by the trace event bus
+must agree, event for event, with the counter registry's story.
+
+This is the PR's acceptance gate: a fig5-style SIF run produces
+``trap_raised`` / ``sif_activated`` / ``sif_deactivated`` events whose
+counts match the ``activations`` / ``deactivations`` registry counters
+snapshotted into the same :class:`~repro.sim.runner.SimReport`.
+"""
+
+import pytest
+
+from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.runner import run_simulation
+from repro.sim.trace import Tracer
+
+
+def lifecycle_config(**overrides):
+    """A bursty SIF DoS run sized so one run shows the whole Section-3.3
+    story: trap -> activation -> ingress drops -> idle timeout ->
+    self-disable -> re-activation on the next burst."""
+    base = dict(
+        sim_time_us=1200.0, warmup_us=0.0, seed=1,
+        num_attackers=1, best_effort_load=0.3, enable_realtime=False,
+        enforcement=EnforcementMode.SIF,
+        attack_duty_cycle=0.12, attack_window_us=40.0,
+        sif_idle_timeout_us=100.0,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+@pytest.mark.tier2_trace
+class TestSifLifecycleEndToEnd:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        tracer = Tracer()
+        report = run_simulation(lifecycle_config(), tracer=tracer)
+        return tracer, report
+
+    def test_full_lifecycle_present(self, traced_run):
+        tracer, _ = traced_run
+        kinds = tracer.kinds()
+        assert kinds.get("trap_raised", 0) >= 1
+        assert kinds.get("sif_activated", 0) >= 2, "expected re-activation"
+        assert kinds.get("sif_deactivated", 0) >= 1
+        assert kinds.get("filtered", 0) > 0, "SIF dropped flood at the ingress"
+
+    def test_event_counts_match_registry_counters(self, traced_run):
+        tracer, report = traced_run
+        kinds = tracer.kinds()
+        assert kinds.get("sif_activated", 0) == report.counter_total(
+            "filter.*.activations"
+        )
+        assert kinds.get("sif_deactivated", 0) == report.counter_total(
+            "filter.*.deactivations"
+        )
+        assert kinds.get("trap_raised", 0) == report.counter_total(
+            "hca.*.traps_sent"
+        )
+        # the report's headline aggregates come from the same registry
+        assert report.sif_activations == kinds.get("sif_activated", 0)
+        assert report.sif_deactivations == kinds.get("sif_deactivated", 0)
+
+    def test_lifecycle_ordering(self, traced_run):
+        """trap precedes activation; a deactivation separates the first
+        activation from the re-activation; drops happen while active."""
+        tracer, _ = traced_run
+        first_trap = min(e.time_ps for e in tracer.of_kind("trap_raised"))
+        acts = sorted(e.time_ps for e in tracer.of_kind("sif_activated"))
+        deacts = sorted(e.time_ps for e in tracer.of_kind("sif_deactivated"))
+        assert first_trap <= acts[0]
+        assert acts[0] < deacts[0] < acts[-1]
+        drops = [e.time_ps for e in tracer.of_kind("filtered")]
+        assert any(acts[0] <= t <= deacts[0] for t in drops)
+
+    def test_deactivation_details_name_the_timeout(self, traced_run):
+        tracer, _ = traced_run
+        for e in tracer.of_kind("sif_deactivated"):
+            assert "idle" in e.detail
+
+    def test_counters_in_snapshot_not_objects(self, traced_run):
+        _, report = traced_run
+        assert report.counters
+        assert all(type(v) in (int, float) for v in report.counters.values())
+
+
+@pytest.mark.tier2_trace
+class TestTimelineRenderers:
+    def test_sif_timeline_renders_lifecycle(self):
+        from repro.analysis.charts import sif_timeline
+
+        tracer = Tracer()
+        run_simulation(lifecycle_config(sim_time_us=600.0), tracer=tracer)
+        text = sif_timeline(tracer.events, title="SIF activation timeline")
+        assert "SIF activation timeline" in text
+        assert "traps" in text and "!" in text
+        assert "A" in text and "activation" in text
+
+    def test_packet_timeline_renders_hops(self):
+        from repro.analysis.charts import packet_timeline
+
+        tracer = Tracer()
+        run_simulation(lifecycle_config(sim_time_us=300.0), tracer=tracer)
+        delivered = [e for e in tracer.events if e.kind == "delivered"]
+        pid = delivered[0].packet_id
+        text = packet_timeline(tracer.events, pid)
+        assert f"packet {pid}" in text
+        assert "created" in text and "delivered" in text
+        assert packet_timeline([], 123) == "packet 123: no trace events"

@@ -137,3 +137,55 @@ class TestUnits:
         eng.schedule(int(2.5 * PS_PER_US), lambda: None)
         eng.run()
         assert eng.now_us == pytest.approx(2.5)
+
+
+class TestRunBudgetClockSemantics:
+    """max_events vs until: the clock only jumps to `until` when nothing
+    stamped at or before `until` is left unprocessed."""
+
+    def test_budget_cut_with_pending_work_keeps_clock(self):
+        eng = Engine()
+        hits = []
+        for i in range(10):
+            eng.schedule((i + 1) * 100, hits.append, i)
+        eng.run(until=2000, max_events=3)
+        assert hits == [0, 1, 2]
+        # events at 400..1000 <= until are still pending: no clock jump
+        assert eng.now == 300
+        assert eng.peek_time() == 400
+
+    def test_budget_cut_resumes_where_it_stopped(self):
+        eng = Engine()
+        hits = []
+        for i in range(5):
+            eng.schedule((i + 1) * 100, hits.append, i)
+        eng.run(until=1000, max_events=2)
+        eng.run(until=1000)  # finish the same horizon
+        assert hits == [0, 1, 2, 3, 4]
+        assert eng.now == 1000
+
+    def test_budget_hit_with_only_later_events_advances_clock(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(100, hits.append, "a")
+        eng.schedule(5000, hits.append, "late")
+        eng.run(until=2000, max_events=1)
+        assert hits == ["a"]
+        # the only pending event is beyond `until`: docstring semantics hold
+        assert eng.now == 2000
+
+    def test_budget_exactly_drains_queue_below_until(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(100, hits.append, "a")
+        eng.schedule(200, hits.append, "b")
+        eng.run(until=9000, max_events=2)
+        assert hits == ["a", "b"]
+        assert eng.now == 9000
+
+    def test_budget_without_until_keeps_clock_at_last_event(self):
+        eng = Engine()
+        for i in range(4):
+            eng.schedule((i + 1) * 10, lambda: None)
+        eng.run(max_events=2)
+        assert eng.now == 20

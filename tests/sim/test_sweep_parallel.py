@@ -195,3 +195,35 @@ class TestSweepBugfixes:
         assert point.reports == ()
         with pytest.raises(ValueError, match="no reports"):
             point.mean(queuing_us("best_effort"))
+
+
+@pytest.mark.tier2_smoke
+class TestCounterSnapshotsAcrossPool:
+    """SimReport.counters must cross the process-pool pickle boundary and
+    the on-disk run cache unchanged."""
+
+    def test_counters_survive_workers2_cached_roundtrip(self, base, tmp_path):
+        serial = Sweep(base, GRID, seeds=(1,))
+        serial.run(workers=1)
+        cold = Sweep(base, GRID, seeds=(1,))
+        cold.run(workers=2, cache=tmp_path)
+        warm = Sweep(base, GRID, seeds=(1,))
+        warm.run(workers=2, cache=tmp_path)
+        assert warm.stats.cache_hits == 4 and warm.stats.simulated == 0
+        for s, c, w in zip(serial.results, cold.results, warm.results):
+            for rs, rc, rw in zip(s.reports, c.reports, w.reports):
+                assert rs.counters, "snapshot must not be empty"
+                assert rs.counters == rc.counters == rw.counters
+                assert all(
+                    type(v) in (int, float) for v in rw.counters.values()
+                ), "snapshot must hold plain numbers, not Counter objects"
+
+    def test_report_aggregates_derive_from_snapshot(self, base):
+        (point,) = Sweep(
+            base.replace(num_attackers=1), {}, seeds=(1,)
+        ).run(workers=2)
+        (report,) = point.reports
+        assert report.switch_filtered == report.counter_total("switch.*.filtered_drops")
+        assert report.switch_lookups == report.counter_total("filter.*.lookups")
+        assert report.traps_received == report.counter("sm.traps_received")
+        assert report.traps_processed == report.counter("sm.traps_processed")

@@ -67,3 +67,90 @@ class TestLifecycleCapture:
         assert tracer.kinds().get("delivered", 0) == sum(
             h.delivered for h in fabric.hcas.values()
         )
+
+
+class TestNativeEventBus:
+    """Tracer wired at build time — components emit lifecycle events
+    themselves, no wrapper monkey-patching."""
+
+    def run_traced(self, tracer, **overrides):
+        from repro.sim.runner import run_simulation
+
+        base = dict(
+            mesh_width=2, mesh_height=2, num_partitions=2,
+            sim_time_us=300.0, warmup_us=0.0, seed=2,
+            best_effort_load=0.2, enable_realtime=False,
+        )
+        base.update(overrides)
+        return run_simulation(SimConfig(**base), tracer=tracer)
+
+    def test_native_emission_covers_data_path(self):
+        tracer = Tracer()
+        report = self.run_traced(tracer)
+        kinds = tracer.kinds()
+        for kind in ("created", "injected", "switch_rx", "forwarded", "delivered"):
+            assert kinds.get(kind, 0) > 0, kind
+        assert kinds["delivered"] == report.counter_total("hca.*.delivered")
+
+    def test_control_plane_events_carry_no_packet(self):
+        from repro.sim.trace import NO_PACKET
+
+        tracer = Tracer()
+        self.run_traced(
+            tracer, num_attackers=1, enforcement=EnforcementMode.SIF,
+            sif_idle_timeout_us=50.0,
+        )
+        sif_events = tracer.of_kind("sif_activated", "sif_deactivated", "sif_registered")
+        assert sif_events
+        assert all(e.packet_id == NO_PACKET for e in sif_events)
+
+    def test_watch_filters_packets_but_keeps_control_plane(self):
+        tracer = Tracer(watch={999_999_999})
+        self.run_traced(
+            tracer, num_attackers=1, enforcement=EnforcementMode.SIF,
+            sif_idle_timeout_us=50.0,
+        )
+        kinds = tracer.kinds()
+        assert kinds.get("created", 0) == 0
+        assert kinds.get("sif_activated", 0) > 0
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(max_events=100)
+        self.run_traced(tracer)
+        assert len(tracer.events) == 100
+        assert tracer.seen > 100
+        assert tracer.truncated
+        # ring keeps the *newest* events
+        times = [e.time_ps for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_unbounded_tracer_not_truncated(self):
+        tracer = Tracer()
+        self.run_traced(tracer)
+        assert not tracer.truncated
+        assert tracer.seen == len(tracer.events)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        import json
+
+        tracer = Tracer()
+        self.run_traced(tracer)
+        path = tmp_path / "events.jsonl"
+        n = tracer.to_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert n == len(lines) == len(tracer.events)
+        first = json.loads(lines[0])
+        assert set(first) == {"time_ps", "time_us", "kind", "where", "packet_id", "detail"}
+        for line, event in zip(lines, tracer.events):
+            obj = json.loads(line)
+            assert obj["time_ps"] == event.time_ps
+            assert obj["kind"] == event.kind
+
+    def test_jsonl_lines_match_to_jsonl(self, tmp_path):
+        import io
+
+        tracer = Tracer()
+        self.run_traced(tracer)
+        buf = io.StringIO()
+        tracer.to_jsonl(buf)
+        assert buf.getvalue().splitlines() == list(tracer.jsonl_lines())

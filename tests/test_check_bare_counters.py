@@ -1,0 +1,69 @@
+"""The bare-counter lint: the repo must stay clean, and the checker must
+actually catch regressions."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_bare_counters.py"
+
+
+def run_checker(*args):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *map(str, args)],
+        capture_output=True, text=True,
+    )
+
+
+class TestRepoIsClean:
+    def test_iba_and_core_have_no_bare_counters(self):
+        proc = run_checker()
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestCheckerCatchesRegressions:
+    def test_bare_self_counter_fails(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "class Switch:\n"
+            "    def forward(self):\n"
+            "        self.forwarded += 1\n"
+        )
+        proc = run_checker(bad)
+        assert proc.returncode == 1
+        assert "self.forwarded" in proc.stderr
+        assert "CounterRegistry" in proc.stderr
+
+    def test_private_and_container_state_allowed(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "class Link:\n"
+            "    def credit(self, vl):\n"
+            "        self._rr += 1\n"          # private mechanism state
+            "        self.credits[vl] += 1\n"  # container element
+            "        local = 0\n"
+            "        local += 1\n"             # not an attribute at all
+        )
+        proc = run_checker(ok)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_directory_argument_recurses(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text(
+            "class X:\n"
+            "    def f(self):\n"
+            "        self.drops += 2\n"
+        )
+        proc = run_checker(tmp_path)
+        assert proc.returncode == 1
+        assert "mod.py" in proc.stderr
+
+    def test_registry_style_passes(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text(
+            "class HCA:\n"
+            "    def deliver(self):\n"
+            "        self.delivered.inc()\n"
+        )
+        assert run_checker(good).returncode == 0

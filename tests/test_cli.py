@@ -92,3 +92,53 @@ class TestCommands:
         assert main(argv) == 0
         warm = capsys.readouterr().out
         assert "cache 8 hit / 0 miss" in warm
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.command == "trace"
+        assert args.enforcement == "sif"
+        assert args.attackers == 1
+        assert args.jsonl is None and args.packet is None
+
+    def test_trace_prints_sif_timeline(self, capsys):
+        rc = main(["trace", "--sim-time-us", "600"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SIF activation timeline" in out
+        assert "trap_raised=" in out and "sif_activated=" in out
+
+    def test_trace_jsonl_export_contains_lifecycle_kinds(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        rc = main(["trace", "--sim-time-us", "800", "--jsonl", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        kinds = {}
+        for line in path.read_text().splitlines():
+            kinds[json.loads(line)["kind"]] = kinds.get(json.loads(line)["kind"], 0) + 1
+        for kind in ("trap_raised", "sif_activated", "sif_deactivated"):
+            assert kinds.get(kind, 0) >= 1, kind
+        # the printed per-kind summary and the export tell the same story
+        for kind, count in kinds.items():
+            assert f"{kind}={count}" in out
+
+    def test_trace_jsonl_to_stdout(self, capsys):
+        rc = main(["trace", "--sim-time-us", "300", "--jsonl", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.lstrip().startswith("{")
+
+    def test_trace_packet_timeline(self, capsys):
+        rc = main(["trace", "--sim-time-us", "300", "--packet", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "packet 1" in out
+
+    def test_trace_ring_buffer(self, capsys):
+        rc = main(["trace", "--sim-time-us", "400", "--max-events", "50"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ring buffer kept 50/" in out

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Lint: forbid new bare ``self.<stat> += n`` counters in iba/ and core/.
+
+Every statistic in the data/control path must live in the
+:class:`repro.sim.counters.CounterRegistry` (created via
+``registry.counter(...)`` and bumped with ``.inc()``) so it is named,
+snapshot-able into ``SimReport.counters``, and survives the parallel-sweep
+pickle boundary.  An ad-hoc ``self.forwarded += 1`` integer silently
+escapes all of that — this checker fails CI when one sneaks back in.
+
+Allowed and therefore ignored:
+
+* underscore-prefixed attributes (``self._rr += 1`` — private mechanism
+  state such as round-robin cursors, not an exported statistic);
+* subscripted targets (``self.credits[vl] += 1`` — container state);
+* non-``self`` targets and local variables.
+
+Usage::
+
+    python tools/check_bare_counters.py            # checks src/repro/{iba,core}
+    python tools/check_bare_counters.py PATH...    # explicit files/dirs
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Directories under src/repro that must not grow bare counters.
+DEFAULT_SCOPES = ("iba", "core")
+
+
+def find_bare_counters(path: Path) -> list[tuple[int, str]]:
+    """Return (line, attribute) for every bare ``self.<name> += n`` in *path*."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    hits: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AugAssign):
+            continue
+        target = node.target
+        if not isinstance(target, ast.Attribute):
+            continue  # subscripts (self.credits[vl] += 1) and names are fine
+        if not (isinstance(target.value, ast.Name) and target.value.id == "self"):
+            continue
+        if target.attr.startswith("_"):
+            continue  # private mechanism state, not an exported statistic
+        hits.append((node.lineno, target.attr))
+    return hits
+
+
+def check(paths: list[Path]) -> int:
+    files: list[Path] = []
+    for p in paths:
+        files.extend(sorted(p.rglob("*.py")) if p.is_dir() else [p])
+    failures = 0
+    for f in files:
+        for line, attr in find_bare_counters(f):
+            failures += 1
+            print(
+                f"{f}:{line}: bare counter 'self.{attr} += ...' — register it "
+                f"in the CounterRegistry and use .inc() instead",
+                file=sys.stderr,
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        paths = [Path(a) for a in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent / "src" / "repro"
+        paths = [root / scope for scope in DEFAULT_SCOPES]
+    failures = check(paths)
+    if failures:
+        print(f"\n{failures} bare counter(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
