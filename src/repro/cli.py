@@ -11,6 +11,7 @@ Usage (installed as ``repro-sim`` or via ``python -m repro.cli``)::
     repro-sim table2
     repro-sim table3
     repro-sim table4
+    repro-sim bench --output BENCH_datapath.json
 """
 
 from __future__ import annotations
@@ -98,6 +99,30 @@ def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_bench(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "bench",
+        help="datapath benchmark: reference vs fast, JSON artifact",
+        description=(
+            "Times packet stamp/verify, serialization, MAC tagging, and an "
+            "end-to-end fig1-style DoS run under the reference and fast "
+            "datapaths (which are bit-identical), and writes the results as "
+            "JSON (schema repro.bench_datapath/1)."
+        ),
+    )
+    p.add_argument("--iterations", type=int, default=20000, help="fast-leg iterations per microbenchmark")
+    p.add_argument("--e2e-time-us", type=float, default=600.0, help="simulated horizon of the end-to-end leg")
+    p.add_argument("--attackers", type=int, default=1, help="DoS attackers in the end-to-end leg")
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="1 iteration + tiny horizon: validates the harness, not perf",
+    )
+    p.add_argument(
+        "--output", default="BENCH_datapath.json", metavar="PATH",
+        help="JSON artifact path ('-' = skip writing)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -119,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table3", help="Table 3: executable threat matrix")
     table4 = sub.add_parser("table4", help="Table 4: MAC time & forgery complexity")
     table4.add_argument("--no-measure", action="store_true", help="skip Python timing")
+    _add_bench(sub)
     return parser
 
 
@@ -268,6 +294,30 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_datapath import (
+        format_bench,
+        run_bench,
+        validate_bench_doc,
+        write_bench_json,
+    )
+
+    doc = run_bench(
+        iterations=args.iterations,
+        e2e_sim_time_us=args.e2e_time_us,
+        e2e_attackers=args.attackers,
+        smoke=args.smoke,
+    )
+    problems = validate_bench_doc(doc)
+    if args.output != "-":
+        write_bench_json(doc, args.output)
+        print(f"wrote {args.output}")
+    print(format_bench(doc))
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
@@ -277,6 +327,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "table4": _cmd_table4,
+    "bench": _cmd_bench,
 }
 
 

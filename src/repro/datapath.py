@@ -1,0 +1,69 @@
+"""One switch for the fast-vs-reference packet datapath.
+
+The fast datapath is three independent, individually-toggleable layers that
+are all **bit-identical** to their reference counterparts:
+
+* cached header/packet serialization (:mod:`repro.iba.packet`),
+* table-driven CRC-16 + prefix-folded CRCs with a ``zlib.crc32`` backend
+  (:mod:`repro.iba.crc`, :mod:`repro.crypto.crc32`),
+* the prepare→verify MAC tag memo (:mod:`repro.core.auth`).
+
+:func:`set_datapath` flips them together so benchmarks and equivalence
+tests can run the exact same simulation twice — once the way the code
+worked before this optimization pass ("reference"), once with everything on
+("fast") — and diff wall-clock while asserting identical counters/traces.
+
+The ``REPRO_DATAPATH`` environment variable (``fast`` | ``reference``)
+selects the initial mode when this module is first imported; the default is
+``fast``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import importlib
+
+from repro.core import auth as _auth
+from repro.iba import crc as _ibacrc
+from repro.iba import packet as _packet
+
+# repro.crypto's __init__ re-exports the crc32 *function* under the same name
+# as the submodule, so a plain ``import repro.crypto.crc32 as _crc32`` would
+# bind the function — resolve the module explicitly.
+_crc32 = importlib.import_module("repro.crypto.crc32")
+
+MODES = ("fast", "reference")
+
+
+def set_datapath(mode: str) -> None:
+    """Select the packet-datapath implementation family.
+
+    ``"fast"`` — serialization caches on, table CRC-16, zlib CRC-32
+    backend, MAC tag memo on.  ``"reference"`` — every cache off, bit-serial
+    CRC-16, pure-python CRC-32 (the pre-optimization behavior).  Simulation
+    results are identical in both modes; only wall-clock changes.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown datapath mode {mode!r}; choose from {MODES}")
+    fast = mode == "fast"
+    _packet.set_serialization_cache(fast)
+    _ibacrc.set_crc16_impl("table" if fast else "bitwise")
+    _crc32.set_crc32_backend("zlib" if fast else "pure")
+    _auth.set_tag_memo(fast)
+
+
+def get_datapath() -> str:
+    """Current mode — ``"fast"`` only when every layer is in its fast state."""
+    fast = (
+        _packet.serialization_cache_enabled()
+        and _ibacrc.get_crc16_impl() == "table"
+        and _crc32.get_crc32_backend() == "zlib"
+        and _auth.tag_memo_enabled()
+    )
+    return "fast" if fast else "reference"
+
+
+_env_mode = os.environ.get("REPRO_DATAPATH")
+if _env_mode:
+    set_datapath(_env_mode)

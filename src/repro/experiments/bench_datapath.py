@@ -1,0 +1,308 @@
+"""Datapath perf harness: stamp/verify, MAC tagging, and a fig1-style DoS
+run, timed under the *reference* and *fast* datapaths.
+
+The fast datapath (cached serialization, prefix-folded CRCs, zlib CRC-32
+backend, prepare→verify MAC memo — see :mod:`repro.datapath`) is
+bit-identical to the reference path, so the two legs of every benchmark run
+the exact same simulation; only wall-clock differs.  Results land in
+``BENCH_datapath.json`` at the repo root so subsequent PRs have a perf
+trajectory to regress against.
+
+Run via ``repro-sim bench`` or ``python tools/bench_datapath.py``; the
+``tier2_bench`` pytest marker exercises the harness in smoke mode (1
+iteration) and validates the JSON schema.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable
+
+BENCH_SCHEMA = "repro.bench_datapath/1"
+
+#: Acceptance floor for the headline microbenchmark (stamp+verify).
+STAMP_VERIFY_TARGET = 3.0
+
+_REQUIRED_MICRO_KEYS = {
+    "reference_us_per_op",
+    "fast_us_per_op",
+    "speedup",
+    "iterations_reference",
+    "iterations_fast",
+}
+_REQUIRED_E2E_KEYS = {
+    "sim_time_us",
+    "attackers",
+    "reference_wall_s",
+    "fast_wall_s",
+    "speedup",
+    "events_processed",
+    "delivered",
+    "bit_identical",
+}
+
+
+def _make_bench_packet():
+    """A representative UD data packet (paper testbed MTU framing)."""
+    from repro.iba.keys import PKey, QKey
+    from repro.iba.packet import (
+        BaseTransportHeader,
+        DataPacket,
+        DatagramExtendedHeader,
+        LOCAL_UD_OVERHEAD,
+        LocalRouteHeader,
+    )
+    from repro.iba.types import LID, QPN, ServiceType, TrafficClass
+
+    wire_length = 1024 + LOCAL_UD_OVERHEAD
+    lrh = LocalRouteHeader(
+        vl=0, service_level=0, dlid=LID(2), slid=LID(1),
+        packet_length=(wire_length + 3) // 4,
+    )
+    bth = BaseTransportHeader(opcode=0x64, pkey=PKey(0x8001), dest_qp=QPN(0x102), psn=7)
+    deth = DatagramExtendedHeader(qkey=QKey(0x1234), src_qp=QPN(0x101))
+    return DataPacket(
+        lrh=lrh, bth=bth, deth=deth,
+        payload=b"\x5a" * 32, wire_length=wire_length,
+        service=ServiceType.UNRELIABLE_DATAGRAM,
+        traffic_class=TrafficClass.BEST_EFFORT,
+    )
+
+
+def _time_per_op(fn: Callable[[], None], iterations: int) -> float:
+    """Wall-clock microseconds per call of *fn* over *iterations* runs."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - t0) / iterations * 1e6
+
+
+def _micro_legs(
+    make_op: Callable[[], Callable[[], None]],
+    iterations: int,
+) -> dict:
+    """Time one microbenchmark under the reference and fast datapaths.
+
+    *make_op* builds a fresh closure per leg (so caches never leak between
+    legs).  The reference leg runs fewer iterations — it is the slow one.
+    """
+    from repro.datapath import set_datapath
+
+    iters_ref = max(1, iterations // 10)
+    set_datapath("reference")
+    ref_us = _time_per_op(make_op(), iters_ref)
+    set_datapath("fast")
+    fast_us = _time_per_op(make_op(), iterations)
+    return {
+        "reference_us_per_op": ref_us,
+        "fast_us_per_op": fast_us,
+        "speedup": ref_us / fast_us if fast_us > 0 else float("inf"),
+        "iterations_reference": iters_ref,
+        "iterations_fast": iterations,
+    }
+
+
+def _op_stamp_verify_warm() -> Callable[[], None]:
+    """Stamp + ICRC/VCRC verify of one in-flight packet (re-verify path)."""
+    from repro.iba import crc as ibacrc
+
+    packet = _make_bench_packet()
+
+    def op() -> None:
+        ibacrc.stamp(packet)
+        ibacrc.verify_icrc(packet)
+        ibacrc.verify_vcrc(packet)
+
+    return op
+
+
+def _op_stamp_verify_cold() -> Callable[[], None]:
+    """Construct + stamp + verify a fresh packet (first-touch path)."""
+    from repro.iba import crc as ibacrc
+
+    def op() -> None:
+        packet = _make_bench_packet()
+        ibacrc.stamp(packet)
+        ibacrc.verify_icrc(packet)
+        ibacrc.verify_vcrc(packet)
+
+    return op
+
+
+def _op_serialize() -> Callable[[], None]:
+    """invariant_bytes + variant_bytes of one packet (no CRC)."""
+    packet = _make_bench_packet()
+
+    def op() -> None:
+        packet.invariant_bytes()
+        packet.variant_bytes()
+
+    return op
+
+
+def _op_mac_tag() -> Callable[[], None]:
+    """MAC tagging + verification (HMAC-SHA1 AT in the ICRC field)."""
+    from repro.core.auth import AUTH_FUNCTIONS, MacAuthService
+
+    class _FixedKey:
+        def sender_key(self, hca, packet):
+            return b"\x17" * 16, 0
+
+        def receiver_key(self, hca, packet):
+            return b"\x17" * 16
+
+    svc = MacAuthService(AUTH_FUNCTIONS[3], _FixedKey(), mac_stage_delay_ns=0.0)
+    packet = _make_bench_packet()
+
+    def op() -> None:
+        svc.prepare(packet, None)
+        svc.verify(packet, None)
+
+    return op
+
+
+_MICROBENCHMARKS: dict[str, Callable[[], Callable[[], None]]] = {
+    "stamp_verify": _op_stamp_verify_warm,
+    "stamp_verify_cold": _op_stamp_verify_cold,
+    "serialize": _op_serialize,
+    "mac_tag_hmac_sha1": _op_mac_tag,
+}
+
+
+def _e2e_fig1(sim_time_us: float, attackers: int) -> dict:
+    """One fig1-style DoS run per datapath; asserts bit-identical results."""
+    from repro.datapath import set_datapath
+    from repro.experiments.fig1_dos import fig1_config
+    from repro.sim.runner import run_simulation
+
+    legs = {}
+    for mode in ("reference", "fast"):
+        set_datapath(mode)
+        report = run_simulation(fig1_config("best_effort", attackers, sim_time_us))
+        legs[mode] = report
+    ref, fast = legs["reference"], legs["fast"]
+    identical = (
+        ref.counters == fast.counters
+        and ref.delivered == fast.delivered
+        and ref.events_processed == fast.events_processed
+    )
+    return {
+        "sim_time_us": sim_time_us,
+        "attackers": attackers,
+        "reference_wall_s": ref.wall_seconds,
+        "fast_wall_s": fast.wall_seconds,
+        "speedup": ref.wall_seconds / fast.wall_seconds if fast.wall_seconds > 0 else float("inf"),
+        "events_processed": fast.events_processed,
+        "delivered": fast.delivered,
+        "bit_identical": identical,
+    }
+
+
+def run_bench(
+    iterations: int = 20000,
+    e2e_sim_time_us: float = 600.0,
+    e2e_attackers: int = 1,
+    smoke: bool = False,
+) -> dict:
+    """Run every datapath benchmark and return the result document.
+
+    *smoke* collapses to 1 iteration and a tiny end-to-end horizon — just
+    enough to prove the harness runs and the JSON schema holds (the
+    ``tier2_bench`` marker uses this; speedup numbers are meaningless
+    there).  Always restores the fast datapath on exit.
+    """
+    from repro.datapath import get_datapath, set_datapath
+
+    if smoke:
+        iterations = 1
+        e2e_sim_time_us = 50.0
+    prior = get_datapath()
+    try:
+        micro = {
+            name: _micro_legs(make_op, iterations)
+            for name, make_op in _MICROBENCHMARKS.items()
+        }
+        e2e = {"fig1_dos": _e2e_fig1(e2e_sim_time_us, e2e_attackers)}
+    finally:
+        set_datapath(prior if prior in ("fast", "reference") else "fast")
+    headline = micro["stamp_verify"]["speedup"]
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_by": "tools/bench_datapath.py",
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "smoke": smoke,
+        "microbenchmarks": micro,
+        "end_to_end": e2e,
+        "targets": {
+            "stamp_verify_speedup_min": STAMP_VERIFY_TARGET,
+            "met": bool(headline >= STAMP_VERIFY_TARGET),
+        },
+    }
+
+
+def validate_bench_doc(doc: dict) -> list[str]:
+    """Schema check for a bench document; returns problems (empty = valid)."""
+    problems = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    micro = doc.get("microbenchmarks")
+    if not isinstance(micro, dict) or not micro:
+        problems.append("microbenchmarks must be a non-empty object")
+    else:
+        for name in _MICROBENCHMARKS:
+            if name not in micro:
+                problems.append(f"missing microbenchmark {name!r}")
+        for name, entry in micro.items():
+            missing = _REQUIRED_MICRO_KEYS - set(entry)
+            if missing:
+                problems.append(f"microbenchmark {name!r} missing keys {sorted(missing)}")
+    e2e = doc.get("end_to_end")
+    if not isinstance(e2e, dict) or "fig1_dos" not in e2e:
+        problems.append("end_to_end.fig1_dos is required")
+    else:
+        missing = _REQUIRED_E2E_KEYS - set(e2e["fig1_dos"])
+        if missing:
+            problems.append(f"end_to_end.fig1_dos missing keys {sorted(missing)}")
+        elif not e2e["fig1_dos"]["bit_identical"]:
+            problems.append("fast and reference datapaths diverged (bit_identical=false)")
+    targets = doc.get("targets")
+    if not isinstance(targets, dict) or "met" not in targets:
+        problems.append("targets.met is required")
+    return problems
+
+
+def format_bench(doc: dict) -> str:
+    """Human-readable summary of a bench document."""
+    lines = [
+        "Datapath benchmark — reference vs fast (bit-identical datapaths)",
+        f"{'benchmark':<20} {'reference':>12} {'fast':>12} {'speedup':>9}",
+    ]
+    for name, e in doc["microbenchmarks"].items():
+        lines.append(
+            f"{name:<20} {e['reference_us_per_op']:>9.2f} us {e['fast_us_per_op']:>9.2f} us"
+            f" {e['speedup']:>8.1f}x"
+        )
+    f1 = doc["end_to_end"]["fig1_dos"]
+    lines.append(
+        f"{'fig1_dos e2e':<20} {f1['reference_wall_s']:>10.3f} s {f1['fast_wall_s']:>10.3f} s"
+        f" {f1['speedup']:>8.1f}x"
+    )
+    lines.append(
+        f"end-to-end identical: {f1['bit_identical']}   "
+        f"target >={doc['targets']['stamp_verify_speedup_min']:.0f}x stamp+verify: "
+        + ("met" if doc["targets"]["met"] else ("n/a (smoke)" if doc.get("smoke") else "NOT MET"))
+    )
+    return "\n".join(lines)
+
+
+def write_bench_json(doc: dict, path: str = "BENCH_datapath.json") -> str:
+    """Write *doc* to *path* (pretty-printed, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

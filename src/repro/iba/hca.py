@@ -148,11 +148,15 @@ class HCA:
         link = self.out_link
         if link is None:
             return
+        # Hot loop: every link-free and credit-return event lands here, so
+        # bind the queue list and credit vector once per call.
+        queues = self.send_queues
+        credits = link.credits
         while not link.busy and not link.failed:
             packet = None
             for vl in PRIORITY_VLS:
-                q = self.send_queues[vl]
-                if q and link.credits[vl] > 0:
+                q = queues[vl]
+                if q and credits[vl] > 0:
                     packet = q.popleft()
                     break
             if packet is None:

@@ -20,10 +20,25 @@ Packets carry real bytes (headers serialize; payload is genuine data the
 ICRC/MAC is computed over) *plus* a declared ``wire_length`` used by link
 timing, so a 1024-byte-MTU packet costs Table-1 time on the wire even when
 an experiment gives it a compact synthetic payload.
+
+**Fast datapath (cached serialization).**  Headers are immutable in flight —
+only ``icrc``/``vcrc`` and the LRH/GRH variant bits ever change after a
+packet is stamped — so every header memoizes its packed wire bytes and
+invalidates only when a field actually mutates (``_CachedHeader``).  The
+packet level memoizes the joined invariant/variant header *prefixes* and the
+full covered byte strings, keyed on header mutation stamps plus payload and
+ICRC identity, which makes ``invariant_bytes()``/``variant_bytes()``
+near-free on re-verify.  The definitional ``pack()``/``pack_invariant()``
+serializers are unchanged and remain the oracle; the cached accessors are
+``packed()``/``packed_invariant()``.  ``tools/check_hot_path.py`` enforces
+that hot-path code only reaches ``pack()`` through this caching layer, and
+:func:`set_serialization_cache` disables every cache for reference-mode
+(before/after) benchmarking — see ``tools/bench_datapath.py``.
 """
 
 from __future__ import annotations
 
+import itertools
 import struct
 from dataclasses import dataclass, field
 
@@ -40,9 +55,73 @@ LOCAL_UD_OVERHEAD = 8 + 12 + 8 + 4 + 2
 #: And for a connected-service packet (no DETH).
 LOCAL_RC_OVERHEAD = 8 + 12 + 4 + 2
 
+#: Global monotonic mutation stamps.  Every header-field write takes the next
+#: value, so a stamp uniquely identifies one state of one header object —
+#: packet-level caches compare stamp tuples instead of re-packing.
+_HEADER_STAMPS = itertools.count(1)
+
+_SER_CACHE_ENABLED = True
+
+
+def set_serialization_cache(enabled: bool) -> None:
+    """Globally enable/disable header+packet serialization memoization.
+
+    Disabled means every ``packed()``/``invariant_bytes()``/``variant_bytes()``
+    call rebuilds its bytes from scratch — the pre-cache reference behavior
+    the datapath benchmark compares against.  Cached and uncached modes are
+    bit-identical; only wall-clock changes."""
+    global _SER_CACHE_ENABLED
+    _SER_CACHE_ENABLED = bool(enabled)
+
+
+def serialization_cache_enabled() -> bool:
+    """Whether the serialization cache layer is active."""
+    return _SER_CACHE_ENABLED
+
+
+class _CachedHeader:
+    """Mixin: memoize ``pack()``/``pack_invariant()`` with field-write
+    invalidation.
+
+    Any assignment to a public field bumps the header's mutation stamp;
+    ``packed()``/``packed_invariant()`` re-serialize only when the stamp
+    moved.  Underscore attributes (the cache slots themselves) never
+    invalidate."""
+
+    _stamp = 0
+    _cache_stamp = None
+    _packed = b""
+    _packed_inv = b""
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name[0] != "_":
+            object.__setattr__(self, "_stamp", next(_HEADER_STAMPS))
+
+    def _refresh(self) -> None:
+        object.__setattr__(self, "_packed", self.pack())
+        object.__setattr__(self, "_packed_inv", self.pack_invariant())
+        object.__setattr__(self, "_cache_stamp", self._stamp)
+
+    def packed(self) -> bytes:
+        """Cached wire bytes (same value as :meth:`pack`)."""
+        if not _SER_CACHE_ENABLED:
+            return self.pack()
+        if self._cache_stamp != self._stamp:
+            self._refresh()
+        return self._packed
+
+    def packed_invariant(self) -> bytes:
+        """Cached ICRC-coverage bytes (same value as :meth:`pack_invariant`)."""
+        if not _SER_CACHE_ENABLED:
+            return self.pack_invariant()
+        if self._cache_stamp != self._stamp:
+            self._refresh()
+        return self._packed_inv
+
 
 @dataclass
-class LocalRouteHeader:
+class LocalRouteHeader(_CachedHeader):
     """LRH — link-layer routing header (8 bytes)."""
 
     vl: int
@@ -88,7 +167,7 @@ class LocalRouteHeader:
 
 
 @dataclass
-class BaseTransportHeader:
+class BaseTransportHeader(_CachedHeader):
     """BTH — transport header (12 bytes)."""
 
     opcode: int
@@ -149,7 +228,7 @@ class BaseTransportHeader:
 
 
 @dataclass
-class DatagramExtendedHeader:
+class DatagramExtendedHeader(_CachedHeader):
     """DETH — datagram extended transport header (8 bytes)."""
 
     qkey: QKey
@@ -177,7 +256,7 @@ class DatagramExtendedHeader:
 
 
 @dataclass
-class GlobalRouteHeader:
+class GlobalRouteHeader(_CachedHeader):
     """GRH — the optional 40-byte IPv6-style header for inter-subnet routing.
 
     ICRC coverage rule (IBA 1.1 §7.8.2): when a GRH is present the ICRC
@@ -301,6 +380,70 @@ class DataPacket:
     def vl(self) -> int:
         return self.lrh.vl
 
+    # --- cached serialization ------------------------------------------------
+    #
+    # Cache slots are class-level defaults (instances shadow them on first
+    # fill) so packet construction pays nothing.  ``_icrc*``/``_vcrc*`` slots
+    # are owned by :mod:`repro.iba.crc` (prefix-CRC folding) and
+    # ``_auth_tag_memo`` by :mod:`repro.core.auth`; they all key on the
+    # identity of the cached byte strings below, so any header/payload
+    # mutation that rebuilds the bytes also invalidates the CRC/MAC caches.
+    _inv_prefix_cache = None  #: (header_key, invariant header prefix bytes)
+    _inv_full_cache = None  #: (prefix, payload, invariant bytes)
+    _var_prefix_cache = None  #: (header_key, variant header prefix bytes)
+    _var_full_cache = None  #: (prefix, payload, icrc, variant bytes)
+    _icrc_prefix_cache = None
+    _icrc_cache = None
+    _vcrc_prefix_cache = None
+    _vcrc_cache = None
+    _auth_tag_memo = None
+
+    def _header_key(self) -> tuple[int, int, int, int]:
+        """Mutation-stamp tuple uniquely identifying the current state of
+        every attached header (replacement included: a new header object
+        carries a fresh stamp)."""
+        grh, deth = self.grh, self.deth
+        return (
+            self.lrh._stamp,
+            grh._stamp if grh is not None else 0,
+            self.bth._stamp,
+            deth._stamp if deth is not None else 0,
+        )
+
+    def invariant_prefix(self) -> bytes:
+        """Cached invariant *header* bytes (everything the ICRC covers up to
+        but excluding the payload).  The returned object is identity-stable
+        while no header mutates — CRC folding keys on that."""
+        key = self._header_key()
+        cache = self._inv_prefix_cache
+        if cache is not None and cache[0] == key:
+            return cache[1]
+        parts = [self.lrh.packed_invariant()]
+        if self.grh is not None:
+            parts.append(self.grh.packed_invariant())
+        parts.append(self.bth.packed_invariant())
+        if self.deth is not None:
+            parts.append(self.deth.packed_invariant())
+        prefix = b"".join(parts)
+        self._inv_prefix_cache = (key, prefix)
+        return prefix
+
+    def variant_prefix(self) -> bytes:
+        """Cached as-transmitted *header* bytes (LRH through DETH)."""
+        key = self._header_key()
+        cache = self._var_prefix_cache
+        if cache is not None and cache[0] == key:
+            return cache[1]
+        parts = [self.lrh.packed()]
+        if self.grh is not None:
+            parts.append(self.grh.packed())
+        parts.append(self.bth.packed())
+        if self.deth is not None:
+            parts.append(self.deth.packed())
+        prefix = b"".join(parts)
+        self._var_prefix_cache = (key, prefix)
+        return prefix
+
     def invariant_bytes(self) -> bytes:
         """The byte string the ICRC / authentication tag covers.
 
@@ -309,26 +452,50 @@ class DataPacket:
         "ICRC does not change from end to end" means — and why the AT that
         replaces it is an end-to-end transport-level tag.
         """
-        parts = [self.lrh.pack_invariant()]
-        if self.grh is not None:
-            parts.append(self.grh.pack_invariant())
-        parts.append(self.bth.pack_invariant())
-        if self.deth is not None:
-            parts.append(self.deth.pack_invariant())
-        parts.append(self.payload)
-        return b"".join(parts)
+        if not _SER_CACHE_ENABLED:
+            parts = [self.lrh.pack_invariant()]
+            if self.grh is not None:
+                parts.append(self.grh.pack_invariant())
+            parts.append(self.bth.pack_invariant())
+            if self.deth is not None:
+                parts.append(self.deth.pack_invariant())
+            parts.append(self.payload)
+            return b"".join(parts)
+        prefix = self.invariant_prefix()
+        payload = self.payload
+        cache = self._inv_full_cache
+        if cache is not None and cache[0] is prefix and cache[1] is payload:
+            return cache[2]
+        data = prefix + payload
+        self._inv_full_cache = (prefix, payload, data)
+        return data
 
     def variant_bytes(self) -> bytes:
         """Everything the VCRC covers: LRH through ICRC, as transmitted."""
-        parts = [self.lrh.pack()]
-        if self.grh is not None:
-            parts.append(self.grh.pack())
-        parts.append(self.bth.pack())
-        if self.deth is not None:
-            parts.append(self.deth.pack())
-        parts.append(self.payload)
-        parts.append(self.icrc.to_bytes(4, "big"))
-        return b"".join(parts)
+        if not _SER_CACHE_ENABLED:
+            parts = [self.lrh.pack()]
+            if self.grh is not None:
+                parts.append(self.grh.pack())
+            parts.append(self.bth.pack())
+            if self.deth is not None:
+                parts.append(self.deth.pack())
+            parts.append(self.payload)
+            parts.append(self.icrc.to_bytes(4, "big"))
+            return b"".join(parts)
+        prefix = self.variant_prefix()
+        payload = self.payload
+        icrc = self.icrc
+        cache = self._var_full_cache
+        if (
+            cache is not None
+            and cache[0] is prefix
+            and cache[1] is payload
+            and cache[2] == icrc
+        ):
+            return cache[3]
+        data = prefix + payload + icrc.to_bytes(4, "big")
+        self._var_full_cache = (prefix, payload, icrc, data)
+        return data
 
     @property
     def nonce(self) -> int:

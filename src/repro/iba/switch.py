@@ -207,10 +207,12 @@ class Switch:
             link = self.out_links[port]
             if link is None:
                 continue
+            # one credit-check closure per port visit, not per grant — this
+            # loop fires on every link-free/credit wakeup of a loaded switch
+            credits = link.credits
+            has_credit = lambda vl: credits[vl] > 0
             while not link.busy and not link.failed:
-                choice = self.arbiter.pick(
-                    port, self.inputs, lambda vl: link.credits[vl] > 0
-                )
+                choice = self.arbiter.pick(port, self.inputs, has_credit)
                 if choice is None:
                     break
                 in_port, entry = choice

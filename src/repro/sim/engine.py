@@ -128,18 +128,31 @@ class Engine:
         call resumes exactly where the budget ran out instead of silently
         skipping over the unprocessed events' timestamps.
         """
+        # One heap inspection per iteration: the loop looks at the heap top
+        # exactly once, discarding cancelled entries as it finds them.  The
+        # previous shape called peek_time() (which pops cancelled entries)
+        # and then step() (which re-scanned from the heap top) — two
+        # comparisons and two tuple unpacks per live event.  Cancelled
+        # events never count against *max_events*, exactly as before.
         count = 0
         budget_hit = False
-        while self._queue:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
             if max_events is not None and count >= max_events:
                 budget_hit = True
                 break
-            nxt = self.peek_time()
-            if nxt is None:
+            head = queue[0]
+            ev = head[3]
+            if ev.cancelled:
+                pop(queue)
+                continue
+            if until is not None and head[0] > until:
                 break
-            if until is not None and nxt > until:
-                break
-            self.step()
+            pop(queue)
+            self._now = ev.time
+            ev.fn(*ev.args)
+            self._processed += 1
             count += 1
         if until is not None and self._now < until:
             if budget_hit:

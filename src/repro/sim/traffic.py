@@ -36,6 +36,18 @@ from repro.sim.engine import Engine
 from repro.sim.rng import exponential_ps
 
 
+#: Constant tail of the default synthetic UD payload.
+_UD_PAD = b"\x5a" * 25
+
+
+def payload_prefix(src_lid: LID, dst_lid: LID) -> bytes:
+    """The per-(source, destination) constant head of the default payload.
+
+    Sources precompute this once per peer so the per-packet payload build
+    folds in only the 3 PSN bytes (see :func:`make_ud_packet`)."""
+    return int(src_lid).to_bytes(2, "big") + int(dst_lid).to_bytes(2, "big")
+
+
 def make_ud_packet(
     src: HCA,
     src_qp: QueuePair,
@@ -47,21 +59,21 @@ def make_ud_packet(
     mtu_bytes: int,
     payload: bytes | None = None,
     is_attack: bool = False,
+    prefix: bytes | None = None,
 ) -> DataPacket:
     """Build a UD data packet with real headers and a deterministic payload.
 
     ``wire_length`` is the full MTU frame; the byte payload carried for
     CRC/MAC purposes is compact (the fabric times by wire_length).
+    *prefix*, when given, must equal ``payload_prefix(src.lid, dst_lid)``
+    and short-circuits the two per-packet ``int.to_bytes`` calls.
     """
     wire_length = mtu_bytes + LOCAL_UD_OVERHEAD
     psn = src_qp.next_psn()
     if payload is None:
-        payload = (
-            int(src.lid).to_bytes(2, "big")
-            + int(dst_lid).to_bytes(2, "big")
-            + psn.to_bytes(3, "big")
-            + b"\x5a" * 25
-        )
+        if prefix is None:
+            prefix = payload_prefix(src.lid, dst_lid)
+        payload = prefix + psn.to_bytes(3, "big") + _UD_PAD
     lrh = LocalRouteHeader(
         vl=traffic_class.vl,
         service_level=traffic_class.vl,
@@ -167,6 +179,7 @@ class BestEffortSource:
         wire = mtu_bytes + LOCAL_UD_OVERHEAD
         self.mean_gap_ps = wire * byte_time_ps / load
         self.generated = 0
+        self._prefixes = {p: payload_prefix(hca.lid, p.lid) for p in peers}
 
     def start(self) -> None:
         self.engine.schedule(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
@@ -178,6 +191,7 @@ class BestEffortSource:
         pkt = make_ud_packet(
             self.hca, self.qp, peer.lid, peer.qpn, peer.qkey,
             self.pkey, TrafficClass.BEST_EFFORT, self.mtu_bytes,
+            prefix=self._prefixes[peer],
         )
         self.hca.submit(pkt)
         self.generated += 1
@@ -218,6 +232,7 @@ class RealtimeSource:
         self.interval_ps = round(wire * byte_time_ps / load)
         self.generated = 0
         self.throttled = 0
+        self._prefixes = {p: payload_prefix(hca.lid, p.lid) for p in peers}
 
     def start(self) -> None:
         # Random phase so the fabric's realtime streams are not in lockstep.
@@ -236,6 +251,7 @@ class RealtimeSource:
             pkt = make_ud_packet(
                 self.hca, self.qp, peer.lid, peer.qpn, peer.qkey,
                 self.pkey, TrafficClass.REALTIME, self.mtu_bytes,
+                prefix=self._prefixes[peer],
             )
             self.hca.submit(pkt)
             self.generated += 1

@@ -128,3 +128,50 @@ class TestLPCRC:
 
     def test_detects_change(self):
         assert ibacrc.lpcrc(b"credits=1") != ibacrc.lpcrc(b"credits=2")
+
+
+class TestCRC16Implementations:
+    """The table-driven CRC-16 against its bit-serial oracle."""
+
+    def test_poly_is_reflection_of_iba_generator(self):
+        # 0xD008 documents itself as the bit-reversal of the IBA VCRC
+        # generator x^16 + x^12 + x^3 + x + 1 (0x100B) — hold it to that.
+        assert int(f"{0x100B:016b}"[::-1], 2) == ibacrc._VCRC_POLY
+
+    def test_table_matches_bitwise_oracle_on_random_inputs(self):
+        import random
+
+        rng = random.Random(0x1BA)
+        for _ in range(300):
+            data = rng.randbytes(rng.randrange(0, 80))
+            init = rng.randrange(0, 0x10000)
+            assert ibacrc._crc16_table(data, init) == ibacrc._crc16_bitwise(data, init)
+
+    def test_continuation_fold_equals_one_shot(self):
+        """The linearity the VCRC fold relies on:
+        crc16(a+b) == crc16(b, crc16(a))."""
+        import random
+
+        rng = random.Random(31)
+        for _ in range(100):
+            data = rng.randbytes(rng.randrange(1, 64))
+            cut = rng.randrange(0, len(data) + 1)
+            folded = ibacrc._crc16_table(data[cut:], ibacrc._crc16_table(data[:cut]))
+            assert folded == ibacrc._crc16_table(data)
+
+    def test_impl_switch_is_bit_identical(self):
+        prior = ibacrc.get_crc16_impl()
+        try:
+            ibacrc.set_crc16_impl("table")
+            fast = ibacrc.vcrc(make_packet(psn=9))
+            ibacrc.set_crc16_impl("bitwise")
+            assert ibacrc.get_crc16_impl() == "bitwise"
+            assert ibacrc.vcrc(make_packet(psn=9)) == fast
+        finally:
+            ibacrc.set_crc16_impl(prior)
+
+    def test_unknown_impl_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ibacrc.set_crc16_impl("simd")

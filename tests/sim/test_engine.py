@@ -139,6 +139,75 @@ class TestUnits:
         assert eng.now_us == pytest.approx(2.5)
 
 
+class TestCancellationHeavyRun:
+    """Regression for the single-heap-inspection run() loop: with many
+    cancelled entries — cancelled before the run and from inside callbacks,
+    amid heavy ties and mixed priorities — run() must fire exactly the live
+    events, in exactly the order the step()-loop semantics define, and
+    cancelled pops must never count against max_events."""
+
+    def _drive(self, runner):
+        eng = Engine()
+        hits = []
+        events = []
+
+        def fire(i):
+            hits.append(i)
+            if i == 4:  # in-run cancellation of later pending events
+                for j in (40, 41, 47, 55):
+                    events[j].cancel()
+
+        for i in range(60):
+            # (i % 7) * 100 → ~9 events per timestamp; priority cycles 0..2
+            events.append(eng.schedule((i % 7) * 100, fire, i, priority=i % 3))
+        for i in range(0, 60, 3):  # pre-run cancellation of every third event
+            events[i].cancel()
+        runner(eng)
+        return hits, eng
+
+    def test_run_matches_step_loop_event_order(self):
+        hits_run, eng_run = self._drive(lambda e: e.run())
+        hits_step, eng_step = self._drive(lambda e: [None for _ in iter(e.step, False)])
+        assert hits_run == hits_step
+        assert len(hits_run) > 30  # the schedule really was cancellation-heavy
+        assert eng_run.now == eng_step.now
+        assert eng_run.events_processed == eng_step.events_processed
+
+    def test_cancelled_in_run_never_fire(self):
+        hits, _ = self._drive(lambda e: e.run())
+        for j in (40, 41, 47, 55):
+            assert j not in hits
+        for i in range(0, 60, 3):
+            assert i not in hits
+
+    def test_cancelled_events_do_not_consume_max_events(self):
+        eng = Engine()
+        hits = []
+        events = [eng.schedule((i + 1) * 10, hits.append, i) for i in range(6)]
+        for i in range(3):
+            events[i].cancel()
+        eng.run(max_events=2)
+        assert hits == [3, 4]  # budget spent only on live events
+        assert eng.events_processed == 2
+
+    def test_leading_cancelled_beyond_until_do_not_block_clock_jump(self):
+        eng = Engine()
+        ev = eng.schedule(5000, lambda: None)
+        ev.cancel()
+        eng.run(until=100)
+        assert eng.now == 100
+
+    def test_cancellation_preserves_tie_order_of_survivors(self):
+        eng = Engine()
+        hits = []
+        events = [eng.schedule(50, hits.append, i) for i in range(8)]
+        events[0].cancel()
+        events[3].cancel()
+        events[7].cancel()
+        eng.run()
+        assert hits == [1, 2, 4, 5, 6]  # FIFO among same-time survivors
+
+
 class TestRunBudgetClockSemantics:
     """max_events vs until: the clock only jumps to `until` when nothing
     stamped at or before `until` is left unprocessed."""

@@ -1,0 +1,81 @@
+"""tier2_bench: the datapath benchmark harness in smoke mode.
+
+One iteration per microbenchmark plus a tiny end-to-end horizon — enough to
+prove the harness runs end to end, restores the datapath, and emits a
+document that satisfies the ``repro.bench_datapath/1`` schema.  Perf
+numbers are meaningless at 1 iteration; the full artifact is produced by
+``python tools/bench_datapath.py`` (see BENCH_datapath.json).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.bench_datapath import (
+    BENCH_SCHEMA,
+    format_bench,
+    run_bench,
+    validate_bench_doc,
+    write_bench_json,
+)
+
+pytestmark = pytest.mark.tier2_bench
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return run_bench(smoke=True)
+
+
+class TestSmokeRun:
+    def test_document_satisfies_schema(self, smoke_doc):
+        assert validate_bench_doc(smoke_doc) == []
+        assert smoke_doc["schema"] == BENCH_SCHEMA
+        assert smoke_doc["smoke"] is True
+
+    def test_end_to_end_legs_bit_identical(self, smoke_doc):
+        assert smoke_doc["end_to_end"]["fig1_dos"]["bit_identical"] is True
+
+    def test_datapath_restored_to_fast(self, smoke_doc):
+        from repro.datapath import get_datapath
+
+        assert get_datapath() == "fast"
+
+    def test_json_round_trip(self, smoke_doc, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench_json(smoke_doc, str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_bench_doc(loaded) == []
+
+    def test_format_mentions_every_microbenchmark(self, smoke_doc):
+        text = format_bench(smoke_doc)
+        for name in smoke_doc["microbenchmarks"]:
+            assert name in text
+        assert "fig1_dos" in text
+
+
+class TestValidator:
+    def test_empty_document_rejected(self):
+        assert validate_bench_doc({}) != []
+
+    def test_missing_micro_keys_reported(self, smoke_doc):
+        doc = json.loads(json.dumps(smoke_doc))  # deep copy
+        del doc["microbenchmarks"]["stamp_verify"]["speedup"]
+        problems = validate_bench_doc(doc)
+        assert any("stamp_verify" in p for p in problems)
+
+    def test_divergent_legs_reported(self, smoke_doc):
+        doc = json.loads(json.dumps(smoke_doc))
+        doc["end_to_end"]["fig1_dos"]["bit_identical"] = False
+        problems = validate_bench_doc(doc)
+        assert any("diverged" in p for p in problems)
+
+
+class TestCli:
+    def test_bench_subcommand_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--output", str(out_path)]) == 0
+        assert validate_bench_doc(json.loads(out_path.read_text())) == []
+        assert "stamp_verify" in capsys.readouterr().out

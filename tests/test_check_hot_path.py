@@ -1,0 +1,79 @@
+"""The hot-path pack lint: the repo must stay clean, and the checker must
+actually catch cache-bypassing serialization calls."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_hot_path.py"
+
+
+def run_checker(*args):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *map(str, args)],
+        capture_output=True, text=True,
+    )
+
+
+class TestRepoIsClean:
+    def test_hot_path_modules_have_no_bare_pack_calls(self):
+        proc = run_checker()
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestCheckerCatchesRegressions:
+    def test_direct_pack_call_fails(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def icrc(packet):\n"
+            "    return crc32(packet.lrh.pack() + packet.payload)\n"
+        )
+        proc = run_checker(bad)
+        assert proc.returncode == 1
+        assert ".pack()" in proc.stderr
+        assert "serialization cache" in proc.stderr
+
+    def test_direct_pack_invariant_call_fails(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def message_for(packet):\n"
+            "    return packet.bth.pack_invariant()\n"
+        )
+        proc = run_checker(bad)
+        assert proc.returncode == 1
+        assert "pack_invariant" in proc.stderr
+
+    def test_struct_pack_allowed(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "import struct\n"
+            "def pack_header(vl):\n"
+            "    return struct.pack('>B', vl)\n"
+        )
+        assert run_checker(ok).returncode == 0
+
+    def test_caching_layer_functions_allowed(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "class Header:\n"
+            "    def pack_invariant(self):\n"
+            "        return bytes(bytearray(self.pack()))\n"
+            "    def _refresh(self):\n"
+            "        self._packed = self.pack()\n"
+            "    def packed(self):\n"
+            "        return self._packed\n"
+            "def invariant_bytes(p):\n"
+            "    return p.lrh.pack_invariant() + p.payload\n"
+        )
+        assert run_checker(ok).returncode == 0, run_checker(ok).stderr
+
+    def test_cached_accessors_allowed_anywhere(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "def icrc(packet):\n"
+            "    return crc32(packet.invariant_bytes())\n"
+            "def hop(packet):\n"
+            "    return packet.lrh.packed()\n"
+        )
+        assert run_checker(ok).returncode == 0

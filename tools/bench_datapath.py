@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Datapath benchmark entry point — thin wrapper over ``repro-sim bench``.
+
+Times packet stamp/verify, serialization, MAC tagging, and an end-to-end
+fig1-style DoS run under the reference and fast datapaths (bit-identical
+results, different wall-clock) and writes ``BENCH_datapath.json`` at the
+repo root.  All logic lives in :mod:`repro.experiments.bench_datapath`.
+
+Usage::
+
+    python tools/bench_datapath.py                 # full run, repo-root JSON
+    python tools/bench_datapath.py --smoke         # 1-iteration schema check
+    python tools/bench_datapath.py --output -      # print only, no artifact
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

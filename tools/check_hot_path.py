@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Lint: forbid direct ``.pack()`` calls in hot-path modules.
+
+The fast datapath (see DESIGN.md) funnels every header/packet
+serialization through the caching layer in :mod:`repro.iba.packet` —
+``packed()``, ``packed_invariant()``, ``invariant_bytes()``,
+``variant_bytes()`` — which memoizes the packed bytes and invalidates on
+field mutation.  A stray ``header.pack()`` or ``packet.pack_invariant()``
+anywhere else on the hot path silently bypasses the cache and re-packs per
+call, which is exactly the per-packet cost this layer removed.  This
+checker fails CI when one sneaks back in.
+
+Allowed and therefore ignored:
+
+* ``struct.pack(...)`` — the stdlib packer the cache itself uses;
+* calls *inside* the caching layer: the ``pack``/``pack_invariant``
+  implementations themselves, the ``packed``/``packed_invariant``/
+  ``_refresh`` cache machinery, and the reference-mode fallback branches of
+  ``invariant_bytes``/``variant_bytes``.
+
+Usage::
+
+    python tools/check_hot_path.py            # checks the hot-path modules
+    python tools/check_hot_path.py PATH...    # explicit files
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules whose code runs per-packet on the datapath.
+DEFAULT_FILES = ("src/repro/iba/packet.py", "src/repro/iba/crc.py")
+
+#: Method names whose direct call bypasses the serialization cache.
+PACK_METHODS = {"pack", "pack_invariant"}
+
+#: Enclosing functions that ARE the caching layer (direct packing allowed).
+CACHING_LAYER = {
+    "pack",
+    "pack_invariant",
+    "packed",
+    "packed_invariant",
+    "_refresh",
+    "invariant_bytes",
+    "variant_bytes",
+}
+
+
+class _HotPathVisitor(ast.NodeVisitor):
+    """Collects ``.pack()``/``.pack_invariant()`` calls outside the cache."""
+
+    def __init__(self) -> None:
+        self.hits: list[tuple[int, str]] = []
+        self._func_stack: list[str] = []
+
+    def _visit_func(self, node) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in PACK_METHODS
+            and not (isinstance(func.value, ast.Name) and func.value.id == "struct")
+            and not (self._func_stack and self._func_stack[-1] in CACHING_LAYER)
+        ):
+            self.hits.append((node.lineno, func.attr))
+        self.generic_visit(node)
+
+
+def find_bare_packs(path: Path) -> list[tuple[int, str]]:
+    """Return (line, method) for every cache-bypassing pack call in *path*."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    visitor = _HotPathVisitor()
+    visitor.visit(tree)
+    return visitor.hits
+
+
+def check(files: list[Path]) -> int:
+    failures = 0
+    for f in files:
+        for line, method in find_bare_packs(f):
+            failures += 1
+            print(
+                f"{f}:{line}: direct '.{method}()' call bypasses the "
+                f"serialization cache — use packed()/packed_invariant()/"
+                f"invariant_bytes()/variant_bytes() instead",
+                file=sys.stderr,
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        files = [root / rel for rel in DEFAULT_FILES]
+    failures = check(files)
+    if failures:
+        print(f"\n{failures} cache-bypassing pack call(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
