@@ -12,6 +12,7 @@ Usage (installed as ``repro-sim`` or via ``python -m repro.cli``)::
     repro-sim table3
     repro-sim table4
     repro-sim bench --output BENCH_datapath.json
+    repro-sim fuzz --runs 25 --seed 0 --shrink --corpus fuzz_corpus/
 """
 
 from __future__ import annotations
@@ -123,6 +124,36 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_fuzz(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random scenarios vs the invariant oracles",
+        description=(
+            "Generates seed-deterministic scenarios (random topology, "
+            "partitions, traffic, attackers, faults, wire tampering, forged "
+            "injections), runs each under the reference AND fast datapaths, "
+            "and checks the invariant catalogue: packet conservation, "
+            "counter/trace consistency, SIF state-machine legality, auth "
+            "soundness, and fast-vs-reference equivalence.  Exits non-zero "
+            "on any violation."
+        ),
+    )
+    p.add_argument("--runs", type=int, default=25, help="scenarios to generate")
+    p.add_argument("--seed", type=int, default=0, help="master seed")
+    p.add_argument(
+        "--shrink", action="store_true",
+        help="minimize each failing scenario before reporting/saving it",
+    )
+    p.add_argument(
+        "--corpus", metavar="DIR",
+        help="save failing scenarios (minimized when --shrink) as replayable JSON here",
+    )
+    p.add_argument(
+        "--replay", metavar="PATH",
+        help="re-run one saved corpus/repro entry instead of generating scenarios",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -145,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     table4 = sub.add_parser("table4", help="Table 4: MAC time & forgery complexity")
     table4.add_argument("--no-measure", action="store_true", help="skip Python timing")
     _add_bench(sub)
+    _add_fuzz(sub)
     return parser
 
 
@@ -318,6 +350,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.corpus import entry_for, load_entry, save_entry, scenario_of
+    from repro.fuzz.generators import generate_scenario
+    from repro.fuzz.oracles import run_scenario
+    from repro.fuzz.shrink import shrink_failure
+
+    if args.replay:
+        entry = load_entry(args.replay)
+        scenario = scenario_of(entry)
+        result = run_scenario(scenario)
+        if result.ok:
+            print(f"ok   {scenario.summary()}  (repro no longer fails)")
+            return 0
+        print(f"FAIL {scenario.summary()}")
+        for violation in result.violations:
+            print(f"     {violation}")
+        return 1
+
+    failures = 0
+    for index in range(args.runs):
+        scenario = generate_scenario(args.seed, index)
+        result = run_scenario(scenario)
+        if result.ok:
+            print(f"ok   {scenario.summary()}")
+            continue
+        failures += 1
+        print(f"FAIL {scenario.summary()}")
+        for violation in result.violations:
+            print(f"     {violation}")
+        report_scenario, violations = scenario, result.violations
+        if args.shrink:
+            oracle = result.violations[0].oracle
+            report_scenario = shrink_failure(scenario, oracle)
+            if report_scenario != scenario:
+                print(f"     shrunk to: {report_scenario.summary()}")
+                violations = run_scenario(report_scenario).violations
+        if args.corpus:
+            path = save_entry(args.corpus, entry_for(report_scenario, violations))
+            print(f"     saved {path}")
+    print(f"{args.runs - failures}/{args.runs} scenarios clean")
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
@@ -328,6 +403,7 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "table4": _cmd_table4,
     "bench": _cmd_bench,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -1,0 +1,332 @@
+"""Deterministic scenario synthesis and packet mutation for the fuzzer.
+
+A :class:`Scenario` is a complete, JSON-serializable description of one
+randomized experiment: a :class:`~repro.sim.config.SimConfig` draw (mesh
+shape, partitions, traffic mix, enforcement/auth modes, attacker placement)
+plus schedules of link faults, switch crashes, mid-link packet tampering,
+and forged-packet injections.  Scenarios are a pure function of
+``(master_seed, index)`` — every random draw flows through one
+:class:`~repro.sim.rng.RngStreams` stream — so the same pair always yields
+byte-identical scenarios, which is what makes corpus entries replayable and
+the differential oracle meaningful.
+
+Mutation catalogue (:data:`MUTATIONS`): every mutation is chosen so a
+tampered packet is *guaranteed undeliverable* — either a security checkpoint
+(P_Key, Q_Key) rejects it or the ICRC/MAC covering the mutated field fails
+verification.  That guarantee is what the auth-soundness oracle checks.
+The LRH ``VL`` field is deliberately never mutated: credits are accounted
+per VL at every hop, so changing it mid-flight would corrupt flow control
+rather than model an attack the receiver could see.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.iba.keys import PKey, QKey
+from repro.iba.packet import DataPacket
+from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
+from repro.sim.rng import RngStreams
+
+#: Wire-tamper mutations.  All keep ``wire_length`` unchanged (link timing
+#: is part of the scenario, not the attack) and never touch the VL.
+MUTATIONS = (
+    "payload_bit_flip",
+    "payload_truncate",
+    "pkey_swap",
+    "dlid_swap",
+    "qkey_flip",
+    "psn_flip",
+    "icrc_flip",
+)
+
+#: Forged-injection kinds.  Each must die at a known checkpoint in every
+#: auth/enforcement combination the generator can draw.
+INJECTION_KINDS = ("random_pkey", "bad_qkey", "guessed_tag", "truncated")
+
+SCENARIO_SCHEMA = "repro.fuzz_scenario/1"
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Take one named link down at ``fail_us`` (and maybe back up)."""
+
+    link: str
+    fail_us: float
+    restore_us: float | None = None
+
+
+@dataclass(frozen=True)
+class SwitchCrash:
+    """Crash the switch at ``(x, y)`` (keys leak, attached links fail)."""
+
+    x: int
+    y: int
+    at_us: float
+    restore_us: float | None = None
+
+
+@dataclass(frozen=True)
+class PacketTamper:
+    """Mutate the ``ordinal``-th packet that crosses ``link``.
+
+    An ``hca*->sw*`` link models tampering at the source HCA's egress; a
+    ``sw*->*`` link is classic mid-link (wire) tampering.
+    """
+
+    link: str
+    ordinal: int
+    mutation: str
+    param: int
+
+
+@dataclass(frozen=True)
+class ForgedInject:
+    """Inject one forged packet at ``src_lid`` toward ``dst_lid`` at ``at_us``."""
+
+    src_lid: int
+    dst_lid: int
+    at_us: float
+    kind: str
+    param: int
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified fuzz experiment (JSON round-trippable)."""
+
+    name: str
+    config: dict = field(default_factory=dict)
+    link_faults: tuple[LinkFault, ...] = ()
+    switch_crashes: tuple[SwitchCrash, ...] = ()
+    tampers: tuple[PacketTamper, ...] = ()
+    injections: tuple[ForgedInject, ...] = ()
+
+    def build_config(self) -> SimConfig:
+        """Materialize the stored config dict into a validated SimConfig."""
+        d = dict(self.config)
+        d["enforcement"] = EnforcementMode(d.get("enforcement", "none"))
+        d["auth"] = AuthMode(d.get("auth", "icrc"))
+        d["keymgmt"] = KeyMgmtMode(d.get("keymgmt", "none"))
+        cfg = SimConfig(**d)
+        cfg.validate()
+        return cfg
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["schema"] = SCENARIO_SCHEMA
+        return d
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Scenario":
+        schema = d.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ValueError(f"unknown scenario schema {schema!r}")
+        return cls(
+            name=d["name"],
+            config=dict(d.get("config", {})),
+            link_faults=tuple(LinkFault(**f) for f in d.get("link_faults", ())),
+            switch_crashes=tuple(SwitchCrash(**c) for c in d.get("switch_crashes", ())),
+            tampers=tuple(PacketTamper(**t) for t in d.get("tampers", ())),
+            injections=tuple(ForgedInject(**i) for i in d.get("injections", ())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> str:
+        """One deterministic line describing the scenario (CLI output)."""
+        c = self.config
+        return (
+            f"{self.name} mesh={c['mesh_width']}x{c['mesh_height']}"
+            f" parts={c['num_partitions']} enf={c['enforcement']}"
+            f" auth={c['auth']} attackers={c['num_attackers']}"
+            f" t={c['sim_time_us']:g}us faults={len(self.link_faults)}"
+            f"+{len(self.switch_crashes)} tampers={len(self.tampers)}"
+            f" injections={len(self.injections)}"
+        )
+
+
+def mesh_link_names(width: int, height: int) -> list[str]:
+    """Every directed link name of a width×height mesh, in the same
+    deterministic order :meth:`~repro.iba.topology.Fabric.all_links` yields
+    (a unit test pins the two enumerations together)."""
+    from repro.iba.topology import _DIRS, node_lid
+
+    names: list[str] = []
+    coords = [(x, y) for y in range(height) for x in range(width)]
+    # HCA up-links, in LID order
+    for x, y in sorted(coords, key=lambda c: int(node_lid(c[0], c[1], width))):
+        names.append(f"hca{int(node_lid(x, y, width))}->sw({x},{y})")
+    # per-switch out-links, in coordinate order: HCA down-link then mesh ports
+    for x, y in sorted(coords):
+        names.append(f"sw({x},{y})->hca{int(node_lid(x, y, width))}")
+        for _port, (dx, dy) in _DIRS.items():
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < width and 0 <= ny < height:
+                names.append(f"sw({x},{y})->sw({nx},{ny})")
+    return names
+
+
+def generate_scenario(master_seed: int, index: int) -> Scenario:
+    """The ``index``-th random scenario under ``master_seed``.
+
+    Pure: same arguments, same scenario — all randomness comes from one
+    named :class:`RngStreams` stream, so generation order doesn't matter.
+    """
+    rng = RngStreams(master_seed).get("fuzz.scenario", index)
+
+    width = rng.choice((2, 2, 3, 3))
+    height = rng.choice((2, 3))
+    nodes = width * height
+    num_partitions = rng.randint(2, min(4, nodes))
+    enforcement = rng.choice(("none", "dpt", "if", "sif"))
+    auth = rng.choice(("icrc", "icrc", "umac", "hmac_md5"))
+    keymgmt = "none" if auth == "icrc" else rng.choice(("partition", "qp"))
+    num_attackers = min(rng.choice((0, 0, 1, 1, 2)), nodes - 2)
+    sim_time_us = float(rng.choice((120, 160, 200)))
+
+    config = {
+        "mesh_width": width,
+        "mesh_height": height,
+        "num_partitions": num_partitions,
+        "partition_layout": "random",
+        "enforcement": enforcement,
+        "auth": auth,
+        "keymgmt": keymgmt,
+        "best_effort_load": rng.choice((0.20, 0.30, 0.40)),
+        "realtime_load": rng.choice((0.05, 0.10)),
+        "num_attackers": num_attackers,
+        "attack_duty_cycle": 1.0,
+        "attack_valid_pkey": False,
+        "replay_protection": auth != "icrc" and rng.random() < 0.25,
+        "sif_idle_timeout_us": float(rng.choice((50, 100, 200))),
+        "sim_time_us": sim_time_us,
+        "warmup_us": 0.0,
+        "seed": rng.randrange(1, 2**31),
+        "keep_samples": False,
+        "rsa_bits": 256,
+    }
+
+    links = mesh_link_names(width, height)
+    coords = [(x, y) for y in range(height) for x in range(width)]
+
+    def t(lo_frac: float, hi_frac: float) -> float:
+        return round(rng.uniform(lo_frac, hi_frac) * sim_time_us, 3)
+
+    link_faults = tuple(
+        LinkFault(
+            link=rng.choice(links),
+            fail_us=t(0.10, 0.50),
+            restore_us=t(0.55, 0.85) if rng.random() < 0.5 else None,
+        )
+        for _ in range(rng.randint(0, 2))
+    )
+    switch_crashes: tuple[SwitchCrash, ...] = ()
+    if rng.random() < 0.35:
+        x, y = rng.choice(coords)
+        switch_crashes = (
+            SwitchCrash(
+                x=x, y=y, at_us=t(0.15, 0.45),
+                restore_us=t(0.55, 0.85) if rng.random() < 0.5 else None,
+            ),
+        )
+    tampers = tuple(
+        PacketTamper(
+            link=rng.choice(links),
+            ordinal=rng.randint(0, 8),
+            mutation=rng.choice(MUTATIONS),
+            param=rng.randrange(1, 2**24),
+        )
+        for _ in range(rng.randint(0, 3))
+    )
+    injections = tuple(
+        ForgedInject(
+            src_lid=(pair := rng.sample(range(1, nodes + 1), 2))[0],
+            dst_lid=pair[1],
+            at_us=t(0.05, 0.80),
+            kind=rng.choice(INJECTION_KINDS),
+            param=rng.randrange(1, 2**31),
+        )
+        for _ in range(rng.randint(0, 3))
+    )
+
+    return Scenario(
+        name=f"fuzz-{master_seed}-{index}",
+        config=config,
+        link_faults=link_faults,
+        switch_crashes=switch_crashes,
+        tampers=tampers,
+        injections=injections,
+    )
+
+
+# -- mutation application ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MutationContext:
+    """Fabric facts a mutation may swap values against."""
+
+    valid_pkeys: tuple[PKey, ...]  #: every partition P_Key, sorted by value.
+    lids: tuple[int, ...]  #: every node LID, sorted.
+
+
+def apply_mutation(packet: DataPacket, mutation: str, param: int,
+                   ctx: MutationContext) -> str:
+    """Mutate *packet* in place; returns the mutation actually applied
+    (a guarded mutation may fall back to ``payload_bit_flip``).
+
+    Every path leaves the packet undeliverable: either a swapped field no
+    longer matches the receiver's tables, or an ICRC/MAC-covered field
+    changed under an unchanged tag.  Header writes bump the headers'
+    mutation stamps, so the serialization/CRC/MAC caches can never serve
+    stale bytes for a tampered packet.
+    """
+    if mutation == "pkey_swap":
+        others = tuple(p for p in ctx.valid_pkeys if p.value != packet.pkey.value)
+        if others:
+            packet.bth.pkey = others[param % len(others)]
+            return mutation
+        mutation = "payload_bit_flip"
+    if mutation == "dlid_swap":
+        from repro.iba.types import LID
+
+        others = tuple(l for l in ctx.lids if l != int(packet.dst))
+        if others:
+            packet.lrh.dlid = LID(others[param % len(others)])
+            return mutation
+        mutation = "payload_bit_flip"
+    if mutation == "qkey_flip":
+        if packet.deth is not None:
+            flip = (param & 0xFFFFFFFF) or 1
+            packet.deth.qkey = QKey(packet.deth.qkey.value ^ flip)
+            return mutation
+        mutation = "payload_bit_flip"
+    if mutation == "psn_flip":
+        packet.bth.psn ^= (param & 0xFFFFFF) or 1
+        return mutation
+    if mutation == "icrc_flip":
+        packet.icrc ^= (param & 0xFFFFFFFF) or 1
+        return mutation
+    if mutation == "payload_truncate":
+        if len(packet.payload) > 1:
+            packet.payload = packet.payload[:-1]
+            return mutation
+        mutation = "payload_bit_flip"
+    if mutation == "payload_bit_flip":
+        data = bytearray(packet.payload)
+        if not data:
+            data = bytearray(b"\x00")
+        bit = param % (len(data) * 8)
+        data[bit // 8] ^= 1 << (bit % 8)
+        packet.payload = bytes(data)
+        return mutation
+    raise ValueError(f"unknown mutation {mutation!r}")

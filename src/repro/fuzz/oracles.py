@@ -1,0 +1,470 @@
+"""Scenario execution and the invariant catalogue (DESIGN.md §3e).
+
+:func:`execute_scenario` runs one :class:`~repro.fuzz.generators.Scenario`
+under a chosen datapath mode, installing its faults, wire tamperers, and
+forged injections through ``run_simulation``'s ``setup`` hook, and returns a
+:class:`FuzzRun` bundling the report, the full trace, the live fabric, and
+the identity sets the oracles need.
+
+Single-run oracles (:data:`ORACLES`):
+
+* ``conservation`` — every packet that entered a send queue is accounted
+  for: delivered, dropped at an HCA checkpoint, filtered/unroutable at a
+  switch, or still in flight somewhere the fabric can enumerate.
+* ``counter_trace`` — the counter registry and the trace bus tell the same
+  story (delivered/filtered/trap/SIF counts match event counts; a link
+  never comes up more often than it went down).
+* ``sif_legality`` — SIF only ever activates after a trap was raised, and
+  its Invalid_P_Key_Table never exceeds the whitelist bound.
+* ``auth_soundness`` — no tampered or forged packet is ever delivered as
+  authentic.
+
+:func:`check_differential` is the two-run oracle: the same scenario under
+``set_datapath("fast")`` vs ``"reference"`` must produce identical counters,
+stats, and traces (packet ids compared relative to each run's base, since
+ids are process-globally monotonic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.attacks import forge_packet, inject_raw
+from repro.core.auth import auth_function_for
+from repro.core.enforcement import SIFPortFilter
+from repro.datapath import get_datapath, set_datapath
+from repro.fuzz.generators import (
+    ForgedInject,
+    MutationContext,
+    Scenario,
+    apply_mutation,
+)
+from repro.iba.hca import HCA
+from repro.iba.keys import PKey, QKey
+from repro.iba.packet import DataPacket, current_packet_seq
+from repro.iba.switch import HCA_PORT
+from repro.iba.topology import Fabric
+from repro.iba.types import QPN
+from repro.sim.config import AuthMode, SimConfig
+from repro.sim.engine import PS_PER_US
+from repro.sim.faults import FaultInjector
+from repro.sim.runner import SimReport, run_simulation
+from repro.sim.trace import NO_PACKET, Tracer
+
+#: HCA receive-side drop counters — together with the switch drop counters
+#: these are the only exits a submitted packet has besides delivery.
+HCA_DROP_COUNTERS = (
+    "pkey_violations",
+    "qkey_violations",
+    "auth_failures",
+    "replay_drops",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure, attributed to an oracle and a run mode."""
+
+    oracle: str
+    mode: str  #: ``reference`` | ``fast`` | ``differential``
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.mode}:{self.oracle}] {self.message}"
+
+
+@dataclass
+class FuzzRun:
+    """Everything one scenario execution leaves behind for the oracles."""
+
+    scenario: Scenario
+    mode: str
+    report: SimReport
+    tracer: Tracer
+    fabric: Fabric
+    base_seq: int  #: packet-id high-water mark before the run started.
+    tampered_ids: set[int] = field(default_factory=set)
+    injected_ids: set[int] = field(default_factory=set)
+
+    def rel(self, packet_id: int) -> int:
+        """Packet id relative to this run's base (stable across runs)."""
+        return packet_id if packet_id == NO_PACKET else packet_id - self.base_seq
+
+
+def _build_injection(inj: ForgedInject, fabric: Fabric, config: SimConfig) -> DataPacket:
+    """Materialize one forged packet at fire time.
+
+    Every kind is undeliverable by construction: ``random_pkey`` fails the
+    P_Key checkpoint (or an enforcement filter), ``bad_qkey`` passes P_Key
+    but fails the Q_Key match, ``guessed_tag`` reaches ICRC/MAC verification
+    with a random 32-bit tag, and ``truncated`` carries a stale CRC over a
+    shortened payload.  Under MAC auth the CRC-stamped kinds additionally
+    die as unauthenticated (``resv8a == 0`` in a protected partition).
+    """
+    src = fabric.hca(inj.src_lid)
+    dst = fabric.hca(inj.dst_lid)
+    src_qp = src.qps[QPN(0x100 + inj.src_lid)]
+    dst_qpn = QPN(0x100 + inj.dst_lid)
+    dst_qp = dst.qps[dst_qpn]
+    dst_pkey = min(dst.keys.pkeys, key=lambda p: p.value)
+    param = inj.param
+
+    if inj.kind == "random_pkey":
+        valid = {p.index for hca in fabric.hcas.values() for p in hca.keys.pkeys}
+        idx = 1 + (param % 0x7FFE)
+        while idx in valid:
+            idx = 1 + (idx % 0x7FFE)
+        bad = PKey(idx | (PKey.FULL_MEMBER_BIT if param & 1 else 0))
+        return forge_packet(
+            src, src_qp, dst.lid, dst_qpn, bad, dst_qp.qkey, config.mtu_bytes
+        )
+    if inj.kind == "bad_qkey":
+        wrong = QKey((dst_qp.qkey.value ^ (param & 0x7FFFFFFF) or 1) & 0x7FFFFFFF)
+        return forge_packet(
+            src, src_qp, dst.lid, dst_qpn, dst_pkey, wrong, config.mtu_bytes
+        )
+    if inj.kind == "guessed_tag":
+        fn_id = (
+            auth_function_for(config.auth).ident
+            if config.auth is not AuthMode.ICRC
+            else 1
+        )
+        return forge_packet(
+            src, src_qp, dst.lid, dst_qpn, dst_pkey, dst_qp.qkey,
+            config.mtu_bytes, guessed_tag=param & 0xFFFFFFFF, auth_fn_id=fn_id,
+        )
+    if inj.kind == "truncated":
+        pkt = forge_packet(
+            src, src_qp, dst.lid, dst_qpn, dst_pkey, dst_qp.qkey, config.mtu_bytes
+        )
+        pkt.payload = pkt.payload[:-1]  # CRC already stamped: now stale
+        return pkt
+    raise ValueError(f"unknown injection kind {inj.kind!r}")
+
+
+def execute_scenario(scenario: Scenario, mode: str) -> FuzzRun:
+    """Run *scenario* under datapath *mode*; restores the previous mode."""
+    prev_mode = get_datapath()
+    set_datapath(mode)
+    try:
+        base_seq = current_packet_seq()
+        tracer = Tracer()
+        config = scenario.build_config()
+        tampered: set[int] = set()
+        injected: set[int] = set()
+        captured: dict[str, Fabric] = {}
+
+        def setup(engine, fabric: Fabric) -> None:
+            captured["fabric"] = fabric
+            injector = FaultInjector(fabric)
+            links = {link.name: link for link in fabric.all_links()}
+
+            # Faults are guarded: a link never double-fails (LinkFault and a
+            # SwitchCrash may name the same link) and never "restores" while
+            # up, so per-link link_down >= link_up holds by construction.
+            def fail_if_up(link) -> None:
+                if not link.failed:
+                    injector.fail_link(link)
+
+            def restore_if_down(link) -> None:
+                if link.failed:
+                    injector.restore_link(link)
+
+            for fault in scenario.link_faults:
+                link = links[fault.link]
+                engine.schedule_at(round(fault.fail_us * PS_PER_US), fail_if_up, link)
+                if fault.restore_us is not None:
+                    engine.schedule_at(
+                        round(fault.restore_us * PS_PER_US), restore_if_down, link
+                    )
+            for crash in scenario.switch_crashes:
+                coords = (crash.x, crash.y)
+                injector.crash_switch(coords, at_ps=round(crash.at_us * PS_PER_US))
+                if crash.restore_us is not None:
+                    injector.restore_switch(
+                        coords, at_ps=round(crash.restore_us * PS_PER_US)
+                    )
+
+            ctx = MutationContext(
+                valid_pkeys=tuple(sorted(
+                    {p for hca in fabric.hcas.values() for p in hca.keys.pkeys},
+                    key=lambda p: p.value,
+                )),
+                lids=tuple(fabric.lids),
+            )
+            by_link: dict[str, dict[int, object]] = {}
+            for tamper in scenario.tampers:
+                by_link.setdefault(tamper.link, {}).setdefault(tamper.ordinal, tamper)
+            for name, plan in by_link.items():
+                link = links[name]
+                prev_tap = link.tap
+
+                def tamper_tap(packet, _plan=plan, _prev=prev_tap, _seen=[0]) -> None:
+                    if _prev is not None:
+                        _prev(packet)
+                    tamper = _plan.get(_seen[0])
+                    _seen[0] += 1
+                    if tamper is not None:
+                        apply_mutation(packet, tamper.mutation, tamper.param, ctx)
+                        tampered.add(packet.packet_id)
+
+                link.tap = tamper_tap
+
+            def fire_injection(inj: ForgedInject) -> None:
+                packet = _build_injection(inj, fabric, config)
+                injected.add(packet.packet_id)
+                inject_raw(fabric.hca(inj.src_lid), packet)
+
+            for inj in scenario.injections:
+                engine.schedule_at(round(inj.at_us * PS_PER_US), fire_injection, inj)
+
+        report = run_simulation(config, tracer=tracer, setup=setup)
+        return FuzzRun(
+            scenario=scenario,
+            mode=mode,
+            report=report,
+            tracer=tracer,
+            fabric=captured["fabric"],
+            base_seq=base_seq,
+            tampered_ids=tampered,
+            injected_ids=injected,
+        )
+    finally:
+        set_datapath(prev_mode)
+
+
+# -- single-run oracles -------------------------------------------------------
+
+
+def check_conservation(run: FuzzRun) -> list[Violation]:
+    """created == delivered + dropped + filtered + in-flight, fabric-wide."""
+    r = run.report
+    submitted = r.counter_total("hca.*.submitted")
+    delivered = r.counter_total("hca.*.delivered")
+    hca_drops = sum(r.counter_total(f"hca.*.{name}") for name in HCA_DROP_COUNTERS)
+    switch_drops = r.counter_total("switch.*.filtered_drops") + r.counter_total(
+        "switch.*.unroutable_drops"
+    )
+    in_flight = run.fabric.in_flight_count()
+    accounted = delivered + hca_drops + switch_drops + in_flight
+    if submitted != accounted:
+        return [Violation(
+            "conservation", run.mode,
+            f"submitted={submitted} != delivered={delivered} + hca_drops={hca_drops}"
+            f" + switch_drops={switch_drops} + in_flight={in_flight}"
+            f" (= {accounted})",
+        )]
+    return []
+
+
+def check_counter_trace(run: FuzzRun) -> list[Violation]:
+    """Counter registry and trace bus must agree event-for-event."""
+    out: list[Violation] = []
+    r = run.report
+    kinds = run.tracer.kinds()
+
+    def expect(label: str, counter_value, event_count: int) -> None:
+        if counter_value != event_count:
+            out.append(Violation(
+                "counter_trace", run.mode,
+                f"{label}: counter={counter_value} trace_events={event_count}",
+            ))
+
+    expect("delivered", r.counter_total("hca.*.delivered"), kinds.get("delivered", 0))
+    expect(
+        "filtered", r.counter_total("switch.*.filtered_drops"), kinds.get("filtered", 0)
+    )
+    expect(
+        "hca drops",
+        sum(r.counter_total(f"hca.*.{name}") for name in HCA_DROP_COUNTERS),
+        kinds.get("dropped", 0),
+    )
+    expect("traps", r.counter_total("hca.*.traps_sent"), kinds.get("trap_raised", 0))
+    expect(
+        "sif activations",
+        r.counter_total("filter.*.activations"),
+        kinds.get("sif_activated", 0),
+    )
+    expect(
+        "sif deactivations",
+        r.counter_total("filter.*.deactivations"),
+        kinds.get("sif_deactivated", 0),
+    )
+    # submitted <= traced submits + raw injections (inject_raw emits no
+    # 'created' event; a submit still inside auth.prepare's pipeline delay
+    # at sim end is traced 'created' but never reached a send queue).
+    submitted = r.counter_total("hca.*.submitted")
+    created = kinds.get("created", 0) + len(run.injected_ids)
+    if submitted > created:
+        out.append(Violation(
+            "counter_trace", run.mode,
+            f"submitted: counter={submitted} > created+injected={created}",
+        ))
+    # reroute_buffered can drop unroutables without a trace event, so the
+    # counter bounds the events rather than equalling them.
+    unroutable = r.counter_total("switch.*.unroutable_drops")
+    if unroutable < kinds.get("unroutable", 0):
+        out.append(Violation(
+            "counter_trace", run.mode,
+            f"unroutable: counter={unroutable} < trace_events={kinds.get('unroutable', 0)}",
+        ))
+    ups: dict[str, int] = {}
+    downs: dict[str, int] = {}
+    for event in run.tracer.of_kind("link_down", "link_up"):
+        (downs if event.kind == "link_down" else ups)[event.where] = (
+            (downs if event.kind == "link_down" else ups).get(event.where, 0) + 1
+        )
+    for where, n_up in sorted(ups.items()):
+        if n_up > downs.get(where, 0):
+            out.append(Violation(
+                "counter_trace", run.mode,
+                f"link {where}: link_up x{n_up} > link_down x{downs.get(where, 0)}",
+            ))
+    return out
+
+
+def check_sif_legality(run: FuzzRun) -> list[Violation]:
+    """SIF state machine: activation needs a prior trap; table stays bounded."""
+    out: list[Violation] = []
+    events = run.tracer.events
+    sif_on = [e for e in events if e.kind == "sif_activated"]
+    if run.scenario.config.get("enforcement") != "sif":
+        if sif_on:
+            out.append(Violation(
+                "sif_legality", run.mode,
+                f"sif_activated without SIF enforcement ({len(sif_on)} events)",
+            ))
+        return out
+    traps = [e.time_ps for e in events if e.kind == "trap_raised"]
+    first_trap = min(traps) if traps else None
+    for event in sif_on:
+        if first_trap is None or event.time_ps < first_trap:
+            out.append(Violation(
+                "sif_legality", run.mode,
+                f"{event.where} activated at {event.time_ps}ps with no prior trap",
+            ))
+    for lid in run.fabric.lids:
+        filt = run.fabric.ingress_switch(lid).filters[HCA_PORT]
+        if isinstance(filt, SIFPortFilter):
+            bound = max(1, len(filt.partition_table))
+            if len(filt.invalid_table) > bound:
+                out.append(Violation(
+                    "sif_legality", run.mode,
+                    f"{filt.scope}: invalid_table={len(filt.invalid_table)}"
+                    f" exceeds whitelist bound {bound}",
+                ))
+    return out
+
+
+def check_auth_soundness(run: FuzzRun) -> list[Violation]:
+    """No tampered or forged packet may ever be delivered as authentic."""
+    bad = run.tampered_ids | run.injected_ids
+    if not bad:
+        return []
+    out = []
+    for event in run.tracer.of_kind("delivered"):
+        if event.packet_id in bad:
+            kind = "tampered" if event.packet_id in run.tampered_ids else "forged"
+            out.append(Violation(
+                "auth_soundness", run.mode,
+                f"{kind} packet #{run.rel(event.packet_id)} delivered at"
+                f" {event.where} ({event.time_ps}ps)",
+            ))
+    return out
+
+
+ORACLES: dict[str, Callable[[FuzzRun], list[Violation]]] = {
+    "conservation": check_conservation,
+    "counter_trace": check_counter_trace,
+    "sif_legality": check_sif_legality,
+    "auth_soundness": check_auth_soundness,
+}
+
+
+def check_run(run: FuzzRun) -> list[Violation]:
+    """Every single-run oracle over one execution."""
+    out: list[Violation] = []
+    for oracle in ORACLES.values():
+        out.extend(oracle(run))
+    return out
+
+
+# -- differential oracle ------------------------------------------------------
+
+
+def _normalized_trace(run: FuzzRun) -> list[tuple]:
+    return [
+        (e.time_ps, e.kind, e.where, run.rel(e.packet_id), e.detail)
+        for e in run.tracer.events
+    ]
+
+
+def check_differential(fast: FuzzRun, reference: FuzzRun) -> list[Violation]:
+    """fast and reference datapaths must be bit-identical in everything but
+    wall-clock: full counter snapshot, per-class stats, drops, and the
+    normalized event trace."""
+    out: list[Violation] = []
+
+    fc, rc = fast.report.counters, reference.report.counters
+    diff_keys = sorted(
+        k for k in (fc.keys() | rc.keys()) if fc.get(k) != rc.get(k)
+    )
+    if diff_keys:
+        shown = ", ".join(
+            f"{k}: fast={fc.get(k)} ref={rc.get(k)}" for k in diff_keys[:5]
+        )
+        out.append(Violation(
+            "differential", "differential",
+            f"{len(diff_keys)} counters differ — {shown}",
+        ))
+    if fast.report.stats != reference.report.stats:
+        out.append(Violation(
+            "differential", "differential",
+            f"class stats differ: fast={fast.report.stats}"
+            f" ref={reference.report.stats}",
+        ))
+    if fast.report.drops != reference.report.drops:
+        out.append(Violation(
+            "differential", "differential",
+            f"drop taxonomies differ: fast={fast.report.drops}"
+            f" ref={reference.report.drops}",
+        ))
+    ft, rt = _normalized_trace(fast), _normalized_trace(reference)
+    if ft != rt:
+        detail = f"lengths fast={len(ft)} ref={len(rt)}"
+        for i, (a, b) in enumerate(zip(ft, rt)):
+            if a != b:
+                detail = f"first divergence at event {i}: fast={a} ref={b}"
+                break
+        out.append(Violation("differential", "differential", f"traces differ — {detail}"))
+    return out
+
+
+# -- full scenario verdict ----------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    """Verdict of one scenario across both datapath modes + differential."""
+
+    scenario: Scenario
+    violations: list[Violation]
+    reference: FuzzRun | None = None
+    fast: FuzzRun | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute under reference then fast, run every oracle, return verdict."""
+    reference = execute_scenario(scenario, "reference")
+    fast = execute_scenario(scenario, "fast")
+    violations = (
+        check_run(reference) + check_run(fast) + check_differential(fast, reference)
+    )
+    return ScenarioResult(
+        scenario=scenario, violations=violations, reference=reference, fast=fast
+    )

@@ -91,6 +91,12 @@ class HCA:
         self.auth: AuthService | None = None
         self.replay_protection = False
         scope = f"hca.{int(lid)}"
+        #: packets that entered a send queue (legitimate submit *or* raw
+        #: attacker injection) — the "created" side of the fuzz subsystem's
+        #: packet-conservation invariant.  Counted at enqueue time so a
+        #: packet stalled in auth.prepare's key-exchange delay is neither
+        #: created nor in-flight yet.
+        self.submitted = self.registry.counter(f"{scope}.submitted")
         self.pkey_violations = self.registry.counter(f"{scope}.pkey_violations")
         self.qkey_violations = self.registry.counter(f"{scope}.qkey_violations")
         self.auth_failures = self.registry.counter(f"{scope}.auth_failures")
@@ -135,8 +141,17 @@ class HCA:
             self._enqueue(packet)
 
     def _enqueue(self, packet: DataPacket) -> None:
+        self.submitted.inc()
         self.send_queues[packet.vl].append(packet)
         self._try_inject()
+
+    def queued_tx_count(self) -> int:
+        """Packets waiting in this HCA's send queues (all VLs)."""
+        return sum(len(q) for q in self.send_queues)
+
+    def rx_in_flight_count(self) -> int:
+        """Packets received but still in rx processing (pre-checkpoint)."""
+        return sum(self._rx_occupancy)
 
     def queue_depth(self, traffic_class: TrafficClass) -> int:
         """Send-queue length for a class — realtime sources use this to

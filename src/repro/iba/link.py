@@ -57,6 +57,7 @@ class Link:
         "tap",
         "registry",
         "tracer",
+        "_in_transit",
     )
 
     def __init__(
@@ -93,6 +94,16 @@ class Link:
         #: passive eavesdropper hook: called with each packet at send time
         #: ("a packet can be captured on the link" — paper Section 4.1).
         self.tap: Callable[[DataPacket], None] | None = None
+        # packets currently on this link (serializing or in wire flight);
+        # mechanism state like credits, exposed read-only via in_transit.
+        self._in_transit = 0
+
+    @property
+    def in_transit(self) -> int:
+        """Packets currently on this link (serializing or in wire flight) —
+        part of the fabric-wide in-flight accounting the fuzz subsystem's
+        packet-conservation oracle sums over (see Fabric.in_flight_count)."""
+        return self._in_transit
 
     def can_send(self, vl: int) -> bool:
         return not self.failed and not self.busy and self.credits[vl] > 0
@@ -130,6 +141,7 @@ class Link:
             self.tap(packet)
         self.credits[vl] -= 1
         self.busy = True
+        self._in_transit += 1
         self.packets_sent.inc()
         self.bytes_sent.inc(packet.wire_length)
         ser = self.serialization_ps(packet)
@@ -138,9 +150,14 @@ class Link:
     def _complete(self, packet: DataPacket) -> None:
         self.busy = False
         # Store-and-forward: the packet is fully at the far end now (+wire).
-        self.engine.schedule(self.wire_delay_ps, self.dst.receive, packet, self.dst_port)
+        self.engine.schedule(self.wire_delay_ps, self._arrive, packet)
         if self.on_free is not None:
             self.on_free()
+
+    def _arrive(self, packet: DataPacket) -> None:
+        """Hand the packet to the receiver; it is no longer on the link."""
+        self._in_transit -= 1
+        self.dst.receive(packet, self.dst_port)
 
     def return_credit(self, vl: int) -> None:
         """Receiver drained one VL slot; re-arm the sender."""

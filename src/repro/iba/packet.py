@@ -328,6 +328,17 @@ def _next_packet_id() -> int:
     return _PACKET_SEQ
 
 
+def current_packet_seq() -> int:
+    """The process-wide packet-id high-water mark.
+
+    Packet ids are globally monotonic, so two runs in one process occupy
+    disjoint id ranges.  Consumers that diff *different runs of the same
+    scenario* (the fuzz subsystem's differential oracle) snapshot this
+    before each run and compare ids relative to their run's base.
+    """
+    return _PACKET_SEQ
+
+
 @dataclass(eq=False)
 class DataPacket:
     """A full IBA data packet moving through the simulated fabric.

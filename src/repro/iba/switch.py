@@ -124,6 +124,16 @@ class Switch:
         """Packets currently in the routing/enforcement pipeline stage."""
         return list(self._in_pipeline.values())
 
+    def buffered_packet_count(self) -> int:
+        """Packets physically inside this switch: pipeline stage plus every
+        input FIFO's ready entries.  (A forwarded packet leaves the count the
+        instant it starts on the outgoing link, even though its input slot's
+        credit is still travelling back upstream.)"""
+        ready = sum(
+            len(fifo.ready) for buf in self.inputs for fifo in buf.fifos
+        )
+        return ready + len(self._in_pipeline)
+
     def _pipeline_done(self, packet: DataPacket, in_port: int, accept: bool) -> None:
         self._in_pipeline.pop(packet.packet_id, None)
         if not accept:

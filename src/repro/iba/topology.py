@@ -68,6 +68,40 @@ class Fabric:
     def all_switches(self) -> list[Switch]:
         return [self.switches[k] for k in sorted(self.switches)]
 
+    def all_links(self) -> list[Link]:
+        """Every directed link of the fabric, each exactly once.
+
+        Every link is somebody's out-link: the HCA→switch up-links hang off
+        the HCAs, everything else (switch→HCA down-links and the mesh
+        links) off the switches.  Deterministic order.
+        """
+        links: list[Link] = []
+        for lid in self.lids:
+            link = self.hcas[lid].out_link
+            if link is not None:
+                links.append(link)
+        for sw in self.all_switches():
+            links.extend(l for l in sw.out_links if l is not None)
+        return links
+
+    def in_flight_count(self) -> int:
+        """Packets currently alive anywhere between submit and their fate.
+
+        Sums HCA send queues, link transit (serialization + wire), switch
+        pipeline/buffer occupancy, and receive-side processing.  Together
+        with the submitted/delivered/dropped/filtered counters this makes
+        packet conservation machine-checkable at any inter-event instant —
+        the fuzz subsystem's first invariant (see repro.fuzz.oracles).
+        """
+        total = 0
+        for hca in self.hcas.values():
+            total += hca.queued_tx_count() + hca.rx_in_flight_count()
+        for sw in self.switches.values():
+            total += sw.buffered_packet_count()
+        for link in self.all_links():
+            total += link.in_transit
+        return total
+
 
 def node_lid(x: int, y: int, width: int) -> LID:
     """LID of the node attached to switch (x, y).  LID 0 is reserved."""

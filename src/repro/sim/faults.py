@@ -113,6 +113,31 @@ class FaultInjector:
         else:
             self.fabric.engine.schedule_at(at_ps, do_crash)
 
+    def restore_switch(self, coords: tuple[int, int], at_ps: int | None = None) -> None:
+        """Reverse :meth:`crash_switch`: bring every attached link (both
+        directions) back up, now or at *at_ps*.
+
+        Each link's :meth:`~repro.iba.link.Link.restore` re-arms its sender,
+        so traffic stalled behind the crash starts draining immediately; the
+        leaked keys stay leaked (a reboot does not un-disclose a secret).
+        """
+        switch = self.fabric.switches[coords]
+
+        def do_restore():
+            for port in range(switch.num_ports):
+                for link in (switch.out_links[port], switch.in_links[port]):
+                    if link is not None and link.failed:
+                        link.restore()
+                        if link in self.failed_links:
+                            self.failed_links.remove(link)
+            if switch.name in self.crashed:
+                self.crashed.remove(switch.name)
+
+        if at_ps is None:
+            do_restore()
+        else:
+            self.fabric.engine.schedule_at(at_ps, do_restore)
+
     # -- wire taps ----------------------------------------------------------
 
     def tap_link(self, link: Link) -> list[DataPacket]:

@@ -322,16 +322,26 @@ def build_experiment(config: SimConfig, tracer: Tracer | None = None):
     return engine, fabric, sources, flooders, windows, key_manager
 
 
-def run_simulation(config: SimConfig, tracer: Tracer | None = None) -> SimReport:
+def run_simulation(
+    config: SimConfig,
+    tracer: Tracer | None = None,
+    setup=None,
+) -> SimReport:
     """Run one experiment end to end and return its report.
 
     *tracer* (optional) receives the run's lifecycle events; the report
-    itself always carries the full counter-registry snapshot.
+    itself always carries the full counter-registry snapshot.  *setup*
+    (optional) is called as ``setup(engine, fabric)`` after the experiment
+    is built but before the clock starts — the hook fault-injection and
+    fuzzing harnesses use to install link faults, switch crashes, wire
+    tamperers, and raw packet injections into an otherwise stock run.
     """
     t0 = time.perf_counter()
     engine, fabric, sources, flooders, windows, key_manager = build_experiment(
         config, tracer=tracer
     )
+    if setup is not None:
+        setup(engine, fabric)
     engine.run(until=config.sim_time_ps)
     wall = time.perf_counter() - t0
 

@@ -56,6 +56,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Protocol
 
+from repro.datapath import get_datapath
 from repro.sim.config import SimConfig
 from repro.sim.runner import SimReport, run_simulation
 
@@ -63,8 +64,10 @@ from repro.sim.runner import SimReport, run_simulation
 #: cached pickles.
 #: Bump whenever SimReport's shape or semantics change — v2 added the
 #: counter-registry snapshot (``SimReport.counters``), making pre-v2 cached
-#: pickles incomplete.
-CACHE_VERSION = 2
+#: pickles incomplete; v3 folded the active datapath mode into the hashed
+#: payload (a ``REPRO_DATAPATH=reference`` debug sweep must never be served
+#: fast-mode entries, even though the two modes are meant to be identical).
+CACHE_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
@@ -94,12 +97,17 @@ def _canonical(value: Any) -> Any:
 def config_key(config: SimConfig) -> str:
     """Stable content hash of a fully-resolved :class:`SimConfig`.
 
-    Two configs hash equal iff every field (including the seed) is equal;
-    the JSON canonicalisation makes the key independent of field order,
-    enum identity, and tuple-vs-list spelling.
+    Two configs hash equal iff every field (including the seed) is equal
+    *and* the runs would execute under the same datapath mode; the JSON
+    canonicalisation makes the key independent of field order, enum
+    identity, and tuple-vs-list spelling.  The datapath mode is part of the
+    payload because a report cached under ``fast`` must not satisfy a
+    ``reference``-mode debugging sweep (the modes are bit-identical by
+    design, but proving that is exactly what a reference sweep is for).
     """
     payload = {
         "cache_version": CACHE_VERSION,
+        "datapath": get_datapath(),
         "config": _canonical(asdict(config)),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))

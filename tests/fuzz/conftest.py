@@ -1,0 +1,35 @@
+"""Shared fuzz-test helpers: a small, fast, hand-built scenario."""
+
+from repro.fuzz.generators import ForgedInject, LinkFault, PacketTamper, Scenario
+
+
+def small_scenario(name="hand", link_faults=(), tampers=(), injections=(),
+                   switch_crashes=(), **config_overrides) -> Scenario:
+    """A 2x2 / 40 µs scenario that executes in tens of milliseconds."""
+    config = {
+        "mesh_width": 2, "mesh_height": 2, "num_partitions": 2,
+        "partition_layout": "random",
+        "enforcement": "none", "auth": "icrc", "keymgmt": "none",
+        "best_effort_load": 0.25, "enable_realtime": False,
+        "num_attackers": 0, "sim_time_us": 40.0, "warmup_us": 0.0,
+        "seed": 7, "keep_samples": False,
+    }
+    config.update(config_overrides)
+    return Scenario(
+        name=name, config=config, link_faults=tuple(link_faults),
+        switch_crashes=tuple(switch_crashes), tampers=tuple(tampers),
+        injections=tuple(injections),
+    )
+
+
+def busy_scenario() -> Scenario:
+    """small_scenario plus one of every attack-surface entry."""
+    return small_scenario(
+        name="busy",
+        link_faults=(LinkFault(link="sw(0,0)->sw(1,0)", fail_us=10.0,
+                               restore_us=25.0),),
+        tampers=(PacketTamper(link="hca1->sw(0,0)", ordinal=0,
+                              mutation="payload_bit_flip", param=3),),
+        injections=(ForgedInject(src_lid=1, dst_lid=4, at_us=8.0,
+                                 kind="random_pkey", param=12345),),
+    )

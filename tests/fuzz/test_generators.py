@@ -1,0 +1,139 @@
+"""Scenario synthesis: determinism, serialization, link-name fidelity,
+and the guarantee that every mutation actually damages the packet."""
+
+import pytest
+
+from repro.fuzz.generators import (
+    INJECTION_KINDS,
+    MUTATIONS,
+    MutationContext,
+    Scenario,
+    apply_mutation,
+    generate_scenario,
+    mesh_link_names,
+)
+from repro.iba.keys import PKey
+from repro.sim.config import SimConfig
+from repro.sim.runner import build_experiment
+from tests.conftest import make_packet
+
+
+class TestDeterminism:
+    def test_same_seed_and_index_identical(self):
+        for i in range(5):
+            assert generate_scenario(0, i) == generate_scenario(0, i)
+            assert generate_scenario(0, i).to_json() == generate_scenario(0, i).to_json()
+
+    def test_different_index_differs(self):
+        drawn = {generate_scenario(0, i).to_json() for i in range(8)}
+        assert len(drawn) == 8
+
+    def test_different_seed_differs(self):
+        assert generate_scenario(0, 0) != generate_scenario(1, 0)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        for i in range(6):
+            s = generate_scenario(3, i)
+            assert Scenario.from_json(s.to_json()) == s
+
+    def test_unknown_schema_rejected(self):
+        d = generate_scenario(0, 0).to_dict()
+        d["schema"] = "repro.fuzz_scenario/999"
+        with pytest.raises(ValueError):
+            Scenario.from_dict(d)
+
+
+class TestWellFormed:
+    def test_generated_scenarios_are_buildable_and_consistent(self):
+        for i in range(15):
+            s = generate_scenario(0, i)
+            cfg = s.build_config()  # validates
+            links = set(mesh_link_names(cfg.mesh_width, cfg.mesh_height))
+            lids = set(range(1, cfg.mesh_width * cfg.mesh_height + 1))
+            for fault in s.link_faults:
+                assert fault.link in links
+                assert 0 < fault.fail_us < cfg.sim_time_us
+            for tamper in s.tampers:
+                assert tamper.link in links
+                assert tamper.mutation in MUTATIONS
+            for inj in s.injections:
+                assert inj.kind in INJECTION_KINDS
+                assert inj.src_lid != inj.dst_lid
+                assert {inj.src_lid, inj.dst_lid} <= lids
+
+
+class TestMeshLinkNames:
+    @pytest.mark.parametrize("width,height", [(2, 2), (3, 2), (2, 3)])
+    def test_matches_fabric_all_links_order(self, width, height):
+        cfg = SimConfig(
+            mesh_width=width, mesh_height=height, sim_time_us=10.0,
+            warmup_us=0.0, enable_realtime=False,
+        )
+        _, fabric, *_ = build_experiment(cfg)
+        assert [l.name for l in fabric.all_links()] == mesh_link_names(width, height)
+
+
+CTX = MutationContext(
+    valid_pkeys=(PKey(0x8001), PKey(0x8002), PKey(0x8003)),
+    lids=(1, 2, 3, 4),
+)
+
+
+class TestMutations:
+    def test_pkey_swap_picks_a_different_valid_pkey(self):
+        pkt = make_packet()
+        orig = pkt.pkey.value
+        assert apply_mutation(pkt, "pkey_swap", 7, CTX) == "pkey_swap"
+        assert pkt.pkey.value != orig
+        assert pkt.pkey.value in {p.value for p in CTX.valid_pkeys}
+
+    def test_pkey_swap_falls_back_when_no_alternative(self):
+        pkt = make_packet()
+        ctx = MutationContext(valid_pkeys=(pkt.pkey,), lids=(1, 2))
+        payload = pkt.payload
+        assert apply_mutation(pkt, "pkey_swap", 7, ctx) == "payload_bit_flip"
+        assert pkt.payload != payload
+
+    def test_dlid_swap_targets_another_node(self):
+        pkt = make_packet(dst=2)
+        assert apply_mutation(pkt, "dlid_swap", 5, CTX) == "dlid_swap"
+        assert int(pkt.dst) != 2
+        assert int(pkt.dst) in CTX.lids
+
+    def test_qkey_flip_changes_the_qkey(self):
+        pkt = make_packet()
+        orig = pkt.deth.qkey.value
+        apply_mutation(pkt, "qkey_flip", 0x10, CTX)
+        assert pkt.deth.qkey.value != orig
+
+    def test_qkey_flip_param_zero_still_mutates(self):
+        pkt = make_packet()
+        orig = pkt.deth.qkey.value
+        apply_mutation(pkt, "qkey_flip", 0, CTX)
+        assert pkt.deth.qkey.value != orig
+
+    def test_psn_and_icrc_flips(self):
+        pkt = make_packet(psn=5)
+        apply_mutation(pkt, "psn_flip", 0x3, CTX)
+        assert pkt.bth.psn != 5
+        icrc = pkt.icrc
+        apply_mutation(pkt, "icrc_flip", 0x1, CTX)
+        assert pkt.icrc != icrc
+
+    def test_truncate_keeps_wire_length(self):
+        pkt = make_packet(payload=b"abcdef")
+        apply_mutation(pkt, "payload_truncate", 0, CTX)
+        assert pkt.payload == b"abcde"
+        assert pkt.wire_length == 1058  # link timing untouched
+
+    def test_bit_flip_changes_exactly_one_bit(self):
+        pkt = make_packet(payload=b"\x00\x00")
+        apply_mutation(pkt, "payload_bit_flip", 9, CTX)
+        assert len(pkt.payload) == 2
+        assert sum(bin(b).count("1") for b in pkt.payload) == 1
+
+    def test_unknown_mutation_raises(self):
+        with pytest.raises(ValueError):
+            apply_mutation(make_packet(), "vl_swap", 1, CTX)

@@ -108,6 +108,21 @@ class TestRunCache:
         assert config_key(base) != config_key(base.replace(seed=2))
         assert config_key(base) != config_key(base.replace(sim_time_us=151.0))
 
+    def test_cache_key_tracks_datapath_mode(self, base):
+        """Regression: a REPRO_DATAPATH=reference debug sweep must never be
+        served fast-mode cache entries."""
+        from repro.datapath import get_datapath, set_datapath
+
+        prev = get_datapath()
+        try:
+            set_datapath("fast")
+            fast_key = config_key(base)
+            set_datapath("reference")
+            reference_key = config_key(base)
+        finally:
+            set_datapath(prev)
+        assert fast_key != reference_key
+
     def test_config_change_invalidates(self, base, tmp_path):
         Sweep(base, GRID, seeds=(1,)).run(cache=tmp_path)
         changed = Sweep(

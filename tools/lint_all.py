@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""One-shot runner for every repo AST lint.
+
+Runs both custom linters over their default scopes:
+
+* ``check_bare_counters`` — no bare ``self.x += 1`` statistics in iba/core;
+  every counter must live in the CounterRegistry.
+* ``check_hot_path`` — hot-path code must reach serialization through the
+  caching layer (``packed()``/``invariant_bytes()``), never ``pack()``.
+
+Usage::
+
+    python tools/lint_all.py
+
+Exits non-zero if any lint reports a failure; each linter keeps its own
+per-finding stderr output.  Individual linters remain runnable on explicit
+paths (``python tools/check_bare_counters.py src/repro/iba``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import check_bare_counters  # noqa: E402
+import check_hot_path  # noqa: E402
+
+LINTS = (
+    ("check_bare_counters", check_bare_counters.main),
+    ("check_hot_path", check_hot_path.main),
+)
+
+
+def main() -> int:
+    rc = 0
+    for name, lint_main in LINTS:
+        status = lint_main([])  # empty argv = the linter's default scope
+        print(f"{name}: {'ok' if status == 0 else 'FAILED'}")
+        rc = rc or status
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
