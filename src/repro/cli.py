@@ -12,6 +12,8 @@ Usage (installed as ``repro-sim`` or via ``python -m repro.cli``)::
     repro-sim table3
     repro-sim table4
     repro-sim bench --output BENCH_datapath.json
+    repro-sim bench-engine --output BENCH_engine.json
+    repro-sim serve-metrics --port 8123
     repro-sim fuzz --runs 25 --seed 0 --shrink --corpus fuzz_corpus/
 """
 
@@ -124,6 +126,58 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_bench_engine(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "bench-engine",
+        help="engine-core benchmark: wheel vs heap scheduler, JSON artifact",
+        description=(
+            "Times fat-tree DoS runs (16-1024 HCAs) and a hold-model event "
+            "churn stage under the calendar-queue scale core and the binary "
+            "heap oracle (which are bit-identical), each leg in its own "
+            "subprocess, and writes the results as JSON (schema "
+            "repro.bench_engine/1)."
+        ),
+    )
+    p.add_argument(
+        "--sim-time-us", type=float, default=100.0,
+        help="simulated horizon of each fabric leg",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fabric + small churn: validates the harness, not perf",
+    )
+    p.add_argument(
+        "--output", default="BENCH_engine.json", metavar="PATH",
+        help="JSON artifact path ('-' = skip writing)",
+    )
+
+
+def _add_serve_metrics(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve-metrics",
+        help="run a simulation with a live HTTP metrics endpoint attached",
+        description=(
+            "Runs a DoS simulation while serving live counter and trace "
+            "snapshots as JSON over stdlib http.server (/metrics, /counters, "
+            "/healthz).  Poll it from another terminal while the run is in "
+            "flight; after the clock drains the server stays up for "
+            "--linger-s seconds so the final state can be scraped."
+        ),
+    )
+    p.add_argument("--port", type=int, default=8123, help="bind port (0 = ephemeral)")
+    p.add_argument("--sim-time-us", type=float, default=5000.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--attackers", type=int, default=1)
+    p.add_argument("--load", type=float, default=0.4, help="best-effort injection (fraction of link bw)")
+    p.add_argument(
+        "--enforcement", choices=["none", "dpt", "if", "sif"], default="sif"
+    )
+    p.add_argument(
+        "--linger-s", type=float, default=0.0,
+        help="keep serving this many seconds after the simulation completes",
+    )
+
+
 def _add_fuzz(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "fuzz",
@@ -176,6 +230,8 @@ def build_parser() -> argparse.ArgumentParser:
     table4 = sub.add_parser("table4", help="Table 4: MAC time & forgery complexity")
     table4.add_argument("--no-measure", action="store_true", help="skip Python timing")
     _add_bench(sub)
+    _add_bench_engine(sub)
+    _add_serve_metrics(sub)
     _add_fuzz(sub)
     return parser
 
@@ -350,6 +406,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_engine import (
+        format_bench_engine,
+        run_bench_engine,
+        validate_bench_engine_doc,
+        write_bench_engine_json,
+    )
+
+    doc = run_bench_engine(smoke=args.smoke, sim_time_us=args.sim_time_us)
+    problems = validate_bench_engine_doc(doc)
+    if args.output != "-":
+        write_bench_engine_json(doc, args.output)
+        print(f"wrote {args.output}")
+    print(format_bench_engine(doc))
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.sim.config import EnforcementMode, SimConfig
+    from repro.sim.metrics_server import MetricsServer
+    from repro.sim.runner import build_experiment
+    from repro.sim.trace import Tracer
+
+    cfg = SimConfig(
+        sim_time_us=args.sim_time_us,
+        seed=args.seed,
+        num_attackers=args.attackers,
+        best_effort_load=args.load,
+        enforcement=EnforcementMode(args.enforcement),
+    )
+    cfg.validate()
+    tracer = Tracer(max_events=1000)
+    engine, fabric, *_ = build_experiment(cfg, tracer=tracer)
+    with MetricsServer(engine, fabric.registry, tracer, port=args.port) as server:
+        print(f"serving metrics at {server.url}/metrics  (sim horizon {args.sim_time_us} us)")
+        engine.run(until=cfg.sim_time_ps)
+        print(
+            f"simulation complete: events={engine.events_processed} "
+            f"delivered={fabric.metrics.delivered}"
+        )
+        if args.linger_s > 0:
+            print(f"serving final state for {args.linger_s:.0f}s more...")
+            _time.sleep(args.linger_s)
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz.corpus import entry_for, load_entry, save_entry, scenario_of
     from repro.fuzz.generators import generate_scenario
@@ -403,6 +509,8 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "table4": _cmd_table4,
     "bench": _cmd_bench,
+    "bench-engine": _cmd_bench_engine,
+    "serve-metrics": _cmd_serve_metrics,
     "fuzz": _cmd_fuzz,
 }
 

@@ -116,7 +116,7 @@ class RandomPKeyFlooder:
             pkt.bth.reserved_auth = 0
             self.hca.submit(pkt)
             self.generated.inc()
-        self.engine.schedule(self.tick_ps // len(self.classes), self._tick, window_end)
+        self.engine.schedule_pooled(self.tick_ps // len(self.classes), self._tick, window_end)
 
 
 class SMTrapFlooder:
@@ -142,7 +142,7 @@ class SMTrapFlooder:
         self.sent = self.registry.counter(f"attacker.{int(reporter)}.traps_sent")
 
     def start(self) -> None:
-        self.engine.schedule(self.gap_ps, self._tick)
+        self.engine.schedule_pooled(self.gap_ps, self._tick)
 
     def _tick(self) -> None:
         if self.engine.now >= self.stop_at:
@@ -156,7 +156,7 @@ class SMTrapFlooder:
             )
         )
         self.sent.inc()
-        self.engine.schedule(self.gap_ps, self._tick)
+        self.engine.schedule_pooled(self.gap_ps, self._tick)
 
 
 def forge_packet(
@@ -184,11 +184,10 @@ def forge_packet(
     )
     if guessed_tag is None:
         pkt.bth.reserved_auth = 0
-        ibacrc.stamp(pkt)
+        pkt.icrc = ibacrc.icrc(pkt)  # VCRC unchecked in-fabric (see auth.py)
     else:
         pkt.bth.reserved_auth = auth_fn_id
         pkt.icrc = guessed_tag & 0xFFFFFFFF
-        pkt.vcrc = ibacrc.vcrc(pkt)
     return pkt
 
 

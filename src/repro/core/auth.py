@@ -165,7 +165,11 @@ class IcrcAuthService:
 
     def prepare(self, packet: DataPacket, sender) -> int:
         packet.bth.reserved_auth = 0
-        ibacrc.stamp(packet)
+        # ICRC only: the hop-local VCRC is not checked anywhere in the
+        # simulated fabric (no per-hop verify is modeled), so stamping it
+        # at transmit would be pure dead computation on the hot path.
+        # Callers that need both fields use ibacrc.stamp().
+        packet.icrc = ibacrc.icrc(packet)
         return 0
 
     def verify(self, packet: DataPacket, receiver) -> bool:
@@ -206,14 +210,14 @@ class MacAuthService:
     def prepare(self, packet: DataPacket, sender) -> int:
         if not self._covered(packet):
             packet.bth.reserved_auth = 0
-            ibacrc.stamp(packet)
+            packet.icrc = ibacrc.icrc(packet)  # VCRC unchecked in-fabric
             return 0
         key, delay = self.keymgr.sender_key(sender, packet)
         if key is None:
             # No key available: fall back to plain ICRC (packet will be
             # rejected at an authenticating receiver — that is the point).
             packet.bth.reserved_auth = 0
-            ibacrc.stamp(packet)
+            packet.icrc = ibacrc.icrc(packet)
             return 0
         packet.bth.reserved_auth = self.func.ident
         message = packet.invariant_bytes()
@@ -225,7 +229,6 @@ class MacAuthService:
             # cache hands out a new bytes object whenever any covered field
             # mutates, so a tampered packet can never hit this memo.
             packet._auth_tag_memo = (self.func.ident, key, message, nonce, tag)
-        packet.vcrc = ibacrc.vcrc(packet)
         self.tags_generated.inc()
         return delay + self._stage_ps
 

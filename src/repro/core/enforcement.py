@@ -111,8 +111,11 @@ class SIFPortFilter:
         # statistics (registry-owned; see repro.sim.counters)
         self.registry = registry if registry is not None else CounterRegistry()
         #: Ingress P_Key Violation Counter (paper Section 3.3) — modeled
-        #: hardware state, but exported like any other counter.
-        self.violation_counter = self.registry.counter(f"{scope}.violation_counter")
+        #: hardware state the idle-timeout check *reads*, so it must stay a
+        #: real counter even when observability is disabled.
+        self.violation_counter = self.registry.state_counter(
+            f"{scope}.violation_counter"
+        )
         self.lookups = self.registry.counter(f"{scope}.lookups")
         self.drops = self.registry.counter(f"{scope}.drops")
         self.activations = self.registry.counter(f"{scope}.activations")
@@ -230,14 +233,16 @@ def install_enforcement(fabric, mode) -> None:
                     ),
                 )
         return
-    # IF and SIF filter only at the HCA-facing ingress port.
+    # IF and SIF filter only at the HCA-facing ingress port (HCA_PORT on
+    # the mesh; fat-tree edge switches host one HCA per low-numbered port).
     for lid in fabric.lids:
         sw = fabric.ingress_switch(lid)
+        port = fabric.ingress_port(lid) if hasattr(fabric, "ingress_port") else HCA_PORT
         node_indices = sm.partitions_of(lid)
-        scope = f"filter.{sw.name}.p{HCA_PORT}"
+        scope = f"filter.{sw.name}.p{port}"
         if mode is EnforcementMode.IF:
             sw.set_port_filter(
-                HCA_PORT,
+                port,
                 IngressPortFilter(
                     node_indices, cfg.pkey_lookup_ns,
                     registry=registry, scope=scope,
@@ -253,7 +258,7 @@ def install_enforcement(fabric, mode) -> None:
                 scope=scope,
                 tracer=tracer,
             )
-            sw.set_port_filter(HCA_PORT, filt)
+            sw.set_port_filter(port, filt)
             sm.registration_hooks[int(lid)] = filt.register_invalid
         else:
             raise ValueError(f"unknown enforcement mode {mode}")

@@ -1,0 +1,400 @@
+"""Engine-core scale benchmark: calendar-queue vs heap scheduler.
+
+Two stages, each timing the same workload under both scheduler modes
+(``wheel`` = the scale core: calendar queue, event pooling, credit
+coalescing, ready-head arbitration index; ``heap`` = the pre-scale-up
+oracle):
+
+``fabric``
+    End-to-end fat-tree DoS runs (fig1-style: no enforcement, P_Key
+    flooders, best-effort background load) at k ∈ {4, 8, 16} — 16 to
+    1024 HCAs.  Measures run-phase events/sec and checks the two legs
+    produced the bit-identical simulation (counter/drop/delivery
+    digest).  The end-to-end gain is Amdahl-bounded: the event *loop* is
+    a minority of a fabric run's wall clock (packet construction, CRC,
+    and buffer bookkeeping dominate), so this stage reports the honest
+    whole-system number.
+
+``churn``
+    The classic hold-model scheduler benchmark at fat-tree pending
+    depths: N events in flight, each callback reschedules itself at a
+    delay drawn (via a deterministic LCG) from the fabric's own timing
+    constants (serialization of 60-byte to 4-KB packets at 2.5 Gbps,
+    wire, credit-return, and routing delays).  N models a saturated
+    fabric at ~40 in-flight events per HCA.  This isolates the engine
+    core that the ``wheel`` scheduler actually replaces; the acceptance
+    target (>= 2x events/sec at 1024-HCA scale) applies here.
+
+Every leg runs in its **own subprocess**: profiling showed that running
+leg B after leg A in one process inflates leg B's times ~3x purely from
+GC scans over leg A's retained object graph, poisoning the comparison in
+either direction.
+
+Results land in ``BENCH_engine.json`` (schema ``repro.bench_engine/1``)
+at the repo root.  Run via ``repro-sim bench-engine``; the
+``tier2_bench`` marker exercises smoke mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+BENCH_SCHEMA = "repro.bench_engine/1"
+
+#: Acceptance floor: wheel/heap events-per-second ratio on the churn
+#: stage at 1024-HCA scale.
+CHURN_SPEEDUP_TARGET = 2.0
+
+#: Pending-depth model for the churn stage: a saturated HCA keeps
+#: roughly this many events in flight (send-queue chains of
+#: serialize/wire/pipeline events across ~4 hops, credit returns, and
+#: source ticks).
+EVENTS_IN_FLIGHT_PER_HCA = 40
+
+#: Churn callback delays (ps), drawn from the fabric's timing constants:
+#: serialization of 60 B / 288 B / 4 KB frames at 3200 ps/byte, wire
+#: propagation, credit return, and the routing pipeline stage.
+CHURN_DELAYS_PS = (192_000, 921_600, 13_107_200, 10_000, 40_000, 100_000)
+
+FABRIC_KS = (4, 8, 16)
+CHURN_HCAS = (16, 256, 1024)
+
+_REQUIRED_LEG_KEYS = {"wall_s", "events_per_s"}
+_REQUIRED_FABRIC_KEYS = {
+    "k", "num_hcas", "attackers", "best_effort_load", "vl_buffer_packets",
+    "sim_time_us", "events", "pending_peak", "heap", "wheel", "speedup",
+    "identical",
+}
+_REQUIRED_CHURN_KEYS = {
+    "num_hcas", "pending", "fired", "heap", "wheel", "speedup", "identical",
+}
+
+
+# -- worker side (one leg per subprocess) -------------------------------------
+
+
+def _worker_fabric(job: dict) -> dict:
+    import gc
+    import hashlib
+
+    from repro.sim import scheduler
+    from repro.sim.config import SimConfig
+    from repro.sim.runner import build_experiment
+
+    scheduler.set_scheduler(job["mode"])
+    k = job["k"]
+    num_hcas = k * k * k // 4
+    cfg = SimConfig(
+        topology="fat_tree",
+        fat_tree_k=k,
+        num_attackers=max(1, num_hcas // 8),
+        best_effort_load=0.8,
+        sim_time_us=job["sim_time_us"],
+        warmup_us=job["warmup_us"],
+        vl_buffer_packets=32,
+        keep_samples=False,
+    )
+    cfg.validate()
+    t0 = time.perf_counter()
+    engine, fabric, *_ = build_experiment(cfg)
+    t1 = time.perf_counter()
+    gc.collect()  # the build's garbage must not bill the timed run
+    peak = 0
+    step = cfg.sim_time_ps // 20
+    t2 = time.perf_counter()
+    for i in range(1, 21):
+        engine.run(until=i * step)
+        pending = engine.pending_count
+        if pending > peak:
+            peak = pending
+    wall = time.perf_counter() - t2
+    snapshot = fabric.registry.snapshot()
+    digest = hashlib.sha256(json.dumps([
+        sorted(snapshot.items()),
+        sorted(fabric.metrics.dropped.items()),
+        fabric.metrics.delivered,
+    ]).encode()).hexdigest()[:16]
+    events = engine.events_processed
+    return {
+        "build_s": t1 - t0,
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall > 0 else float("inf"),
+        "pending_peak": peak,
+        "digest": digest,
+        "num_hcas": num_hcas,
+        "attackers": cfg.num_attackers,
+    }
+
+
+def _worker_churn(job: dict) -> dict:
+    import gc
+
+    from repro.sim import scheduler
+    from repro.sim.engine import Engine
+
+    scheduler.set_scheduler(job["mode"])
+    engine = Engine()
+    delays = CHURN_DELAYS_PS
+    state = 0x2545F4914F6CDD1D  # deterministic LCG; both legs share the seed
+
+    def tick() -> None:
+        nonlocal state
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        engine.schedule_pooled(delays[(state >> 60) % 6] + ((state >> 40) & 0xFFF), tick)
+
+    for _ in range(job["pending"]):
+        tick()
+    gc.collect()
+    t0 = time.perf_counter()
+    engine.run(max_events=job["fire"])
+    wall = time.perf_counter() - t0
+    fired = engine.events_processed
+    return {
+        "wall_s": wall,
+        "fired": fired,
+        "events_per_s": fired / wall if wall > 0 else float("inf"),
+        # the LCG state folds in the exact firing order: equal final
+        # states prove both schedulers popped the same event sequence.
+        "lcg_state": f"{state:016x}",
+    }
+
+
+_WORKERS = {"fabric": _worker_fabric, "churn": _worker_churn}
+
+
+def _worker_main(job_json: str) -> int:
+    job = json.loads(job_json)
+    result = _WORKERS[job["stage"]](job)
+    print(json.dumps(result))
+    return 0
+
+
+# -- driver side --------------------------------------------------------------
+
+
+def _run_leg(job: dict) -> dict:
+    """Run one benchmark leg in a fresh interpreter and return its result.
+
+    Isolation is load-bearing: a second leg in the same process pays GC
+    scans over the first leg's retained fabric (~1M objects), skewing its
+    wall clock by up to 3x.
+    """
+    import repro
+
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments.bench_engine",
+         "--worker", json.dumps(job)],
+        capture_output=True, text=True, env=env, check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench worker failed ({job['stage']}/{job['mode']}): "
+            f"{proc.stderr.strip()[-500:]}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _speedup(heap_leg: dict, wheel_leg: dict) -> float:
+    if wheel_leg["wall_s"] <= 0:
+        return float("inf")
+    return heap_leg["wall_s"] / wheel_leg["wall_s"]
+
+
+def _fabric_row(k: int, sim_time_us: float, warmup_us: float) -> dict:
+    legs = {
+        mode: _run_leg({
+            "stage": "fabric", "mode": mode, "k": k,
+            "sim_time_us": sim_time_us, "warmup_us": warmup_us,
+        })
+        for mode in ("heap", "wheel")
+    }
+    heap_leg, wheel_leg = legs["heap"], legs["wheel"]
+    identical = (
+        heap_leg["digest"] == wheel_leg["digest"]
+        and heap_leg["events"] == wheel_leg["events"]
+    )
+    return {
+        "k": k,
+        "num_hcas": heap_leg["num_hcas"],
+        "attackers": heap_leg["attackers"],
+        "best_effort_load": 0.8,
+        "vl_buffer_packets": 32,
+        "sim_time_us": sim_time_us,
+        "events": wheel_leg["events"],
+        "pending_peak": wheel_leg["pending_peak"],
+        "heap": {k2: heap_leg[k2] for k2 in ("build_s", "wall_s", "events_per_s")},
+        "wheel": {k2: wheel_leg[k2] for k2 in ("build_s", "wall_s", "events_per_s")},
+        "speedup": _speedup(heap_leg, wheel_leg),
+        "identical": identical,
+    }
+
+
+def _churn_row(num_hcas: int, fire: int) -> dict:
+    pending = num_hcas * EVENTS_IN_FLIGHT_PER_HCA
+    legs = {
+        mode: _run_leg({
+            "stage": "churn", "mode": mode, "pending": pending, "fire": fire,
+        })
+        for mode in ("heap", "wheel")
+    }
+    heap_leg, wheel_leg = legs["heap"], legs["wheel"]
+    identical = (
+        heap_leg["lcg_state"] == wheel_leg["lcg_state"]
+        and heap_leg["fired"] == wheel_leg["fired"]
+    )
+    return {
+        "num_hcas": num_hcas,
+        "pending": pending,
+        "fired": wheel_leg["fired"],
+        "heap": {k: heap_leg[k] for k in ("wall_s", "events_per_s")},
+        "wheel": {k: wheel_leg[k] for k in ("wall_s", "events_per_s")},
+        "speedup": _speedup(heap_leg, wheel_leg),
+        "identical": identical,
+    }
+
+
+def run_bench_engine(smoke: bool = False, sim_time_us: float = 100.0) -> dict:
+    """Run both stages across both schedulers and return the document.
+
+    *smoke* collapses to one tiny fabric (k=4, short horizon) and one
+    small churn size — enough to prove the harness, subprocess protocol,
+    and JSON schema work; the speedups it reports are meaningless.
+    """
+    from repro.sim.scheduler import SLOT_BITS
+
+    if smoke:
+        fabric_rows = [_fabric_row(4, sim_time_us=20.0, warmup_us=5.0)]
+        churn_rows = [_churn_row(16, fire=5_000)]
+    else:
+        fabric_rows = [
+            _fabric_row(k, sim_time_us=sim_time_us, warmup_us=10.0)
+            for k in FABRIC_KS
+        ]
+        churn_rows = [
+            _churn_row(n, fire=min(400_000, max(50_000, n * EVENTS_IN_FLIGHT_PER_HCA * 10)))
+            for n in CHURN_HCAS
+        ]
+    top_churn = churn_rows[-1]
+    top_fabric = fabric_rows[-1]
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_by": "repro-sim bench-engine",
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "smoke": smoke,
+        "slot_bits": SLOT_BITS,
+        "fabric": fabric_rows,
+        "churn": churn_rows,
+        "headline": {
+            "num_hcas": top_churn["num_hcas"],
+            "fabric_speedup": top_fabric["speedup"],
+            "churn_speedup": top_churn["speedup"],
+        },
+        "targets": {
+            "churn_speedup_min": CHURN_SPEEDUP_TARGET,
+            "met": bool(not smoke and top_churn["speedup"] >= CHURN_SPEEDUP_TARGET),
+        },
+    }
+
+
+def validate_bench_engine_doc(doc: dict) -> list[str]:
+    """Schema check for a bench document; returns problems (empty = valid)."""
+    problems = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    for stage, required in (("fabric", _REQUIRED_FABRIC_KEYS),
+                            ("churn", _REQUIRED_CHURN_KEYS)):
+        rows = doc.get(stage)
+        if not isinstance(rows, list) or not rows:
+            problems.append(f"{stage} must be a non-empty list")
+            continue
+        for row in rows:
+            missing = required - set(row)
+            if missing:
+                problems.append(f"{stage} row missing keys {sorted(missing)}")
+                continue
+            for mode in ("heap", "wheel"):
+                leg_missing = _REQUIRED_LEG_KEYS - set(row[mode])
+                if leg_missing:
+                    problems.append(
+                        f"{stage} row {mode} leg missing keys {sorted(leg_missing)}"
+                    )
+            if not row["identical"]:
+                problems.append(
+                    f"{stage} row (n={row.get('num_hcas')}) legs diverged"
+                    " (identical=false)"
+                )
+    targets = doc.get("targets")
+    if not isinstance(targets, dict) or "met" not in targets:
+        problems.append("targets.met is required")
+    elif not doc.get("smoke") and not targets["met"]:
+        problems.append(
+            f"churn speedup target >= {targets.get('churn_speedup_min')}x not met"
+        )
+    if not isinstance(doc.get("headline"), dict):
+        problems.append("headline is required")
+    return problems
+
+
+def format_bench_engine(doc: dict) -> str:
+    """Human-readable summary of a bench document."""
+    lines = [
+        "Engine-core benchmark — wheel (calendar queue + scale core) vs heap oracle",
+        "",
+        "fat-tree DoS end-to-end (whole-system: construction + CRC + event loop):",
+        f"  {'HCAs':>5} {'events':>9} {'peak pend':>9} {'heap ev/s':>11}"
+        f" {'wheel ev/s':>11} {'speedup':>8} {'identical':>9}",
+    ]
+    for row in doc["fabric"]:
+        lines.append(
+            f"  {row['num_hcas']:>5} {row['events']:>9,} {row['pending_peak']:>9,}"
+            f" {row['heap']['events_per_s']:>11,.0f}"
+            f" {row['wheel']['events_per_s']:>11,.0f}"
+            f" {row['speedup']:>7.2f}x {str(row['identical']):>9}"
+        )
+    lines += [
+        "",
+        "event churn (hold model at fabric pending depths — the engine core itself):",
+        f"  {'HCAs':>5} {'pending':>8} {'fired':>8} {'heap ev/s':>11}"
+        f" {'wheel ev/s':>11} {'speedup':>8} {'identical':>9}",
+    ]
+    for row in doc["churn"]:
+        lines.append(
+            f"  {row['num_hcas']:>5} {row['pending']:>8,} {row['fired']:>8,}"
+            f" {row['heap']['events_per_s']:>11,.0f}"
+            f" {row['wheel']['events_per_s']:>11,.0f}"
+            f" {row['speedup']:>7.2f}x {str(row['identical']):>9}"
+        )
+    targets = doc["targets"]
+    lines.append(
+        f"target >={targets['churn_speedup_min']:.0f}x churn events/sec at scale: "
+        + ("met" if targets["met"] else ("n/a (smoke)" if doc.get("smoke") else "NOT MET"))
+    )
+    return "\n".join(lines)
+
+
+def write_bench_engine_json(doc: dict, path: str = "BENCH_engine.json") -> str:
+    """Write *doc* to *path* (pretty-printed, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--worker":
+        sys.exit(_worker_main(sys.argv[2]))
+    print("usage: python -m repro.experiments.bench_engine --worker JOB_JSON\n"
+          "(use `repro-sim bench-engine` to run the full benchmark)",
+          file=sys.stderr)
+    sys.exit(2)

@@ -22,7 +22,11 @@ Single-run oracles (:data:`ORACLES`):
 :func:`check_differential` is the two-run oracle: the same scenario under
 ``set_datapath("fast")`` vs ``"reference"`` must produce identical counters,
 stats, and traces (packet ids compared relative to each run's base, since
-ids are process-globally monotonic).
+ids are process-globally monotonic).  The same check runs across the
+scheduler axis (``wheel`` calendar queue vs the ``heap`` oracle — the
+scale core must not change one observable bit), and
+:func:`check_observability_differential` proves a disabled observability
+layer changes nothing but the bookkeeping itself.
 """
 
 from __future__ import annotations
@@ -34,6 +38,8 @@ from repro.core.attacks import forge_packet, inject_raw
 from repro.core.auth import auth_function_for
 from repro.core.enforcement import SIFPortFilter
 from repro.datapath import get_datapath, set_datapath
+from repro.observability import get_observability, set_observability
+from repro.sim.scheduler import get_scheduler, set_scheduler
 from repro.fuzz.generators import (
     ForgedInject,
     MutationContext,
@@ -143,10 +149,26 @@ def _build_injection(inj: ForgedInject, fabric: Fabric, config: SimConfig) -> Da
     raise ValueError(f"unknown injection kind {inj.kind!r}")
 
 
-def execute_scenario(scenario: Scenario, mode: str) -> FuzzRun:
-    """Run *scenario* under datapath *mode*; restores the previous mode."""
+def execute_scenario(
+    scenario: Scenario,
+    mode: str,
+    scheduler: str | None = None,
+    observability: str | None = None,
+) -> FuzzRun:
+    """Run *scenario* under datapath *mode*; restores the previous mode.
+
+    *scheduler* (``"wheel"`` | ``"heap"``) and *observability* (``"on"`` |
+    ``"off"``) pin those axes for this run when given; each is restored
+    afterwards.  They default to the ambient modes.
+    """
     prev_mode = get_datapath()
+    prev_sched = get_scheduler()
+    prev_obs = get_observability()
     set_datapath(mode)
+    if scheduler is not None:
+        set_scheduler(scheduler)
+    if observability is not None:
+        set_observability(observability)
     try:
         base_seq = current_packet_seq()
         tracer = Tracer()
@@ -232,6 +254,8 @@ def execute_scenario(scenario: Scenario, mode: str) -> FuzzRun:
         )
     finally:
         set_datapath(prev_mode)
+        set_scheduler(prev_sched)
+        set_observability(prev_obs)
 
 
 # -- single-run oracles -------------------------------------------------------
@@ -345,7 +369,7 @@ def check_sif_legality(run: FuzzRun) -> list[Violation]:
                 f"{event.where} activated at {event.time_ps}ps with no prior trap",
             ))
     for lid in run.fabric.lids:
-        filt = run.fabric.ingress_switch(lid).filters[HCA_PORT]
+        filt = run.fabric.ingress_switch(lid).filters[run.fabric.ingress_port(lid)]
         if isinstance(filt, SIFPortFilter):
             bound = max(1, len(filt.partition_table))
             if len(filt.invalid_table) > bound:
@@ -400,10 +424,16 @@ def _normalized_trace(run: FuzzRun) -> list[tuple]:
     ]
 
 
-def check_differential(fast: FuzzRun, reference: FuzzRun) -> list[Violation]:
-    """fast and reference datapaths must be bit-identical in everything but
+def check_differential(
+    fast: FuzzRun, reference: FuzzRun, oracle: str = "differential"
+) -> list[Violation]:
+    """*fast* and *reference* must be bit-identical in everything but
     wall-clock: full counter snapshot, per-class stats, drops, and the
-    normalized event trace."""
+    normalized event trace.
+
+    The same check covers every differential axis — datapath fast vs
+    reference, scheduler wheel vs heap — with *oracle* naming the axis in
+    any violation (``differential`` | ``scheduler_differential``)."""
     out: list[Violation] = []
 
     fc, rc = fast.report.counters, reference.report.counters
@@ -415,18 +445,18 @@ def check_differential(fast: FuzzRun, reference: FuzzRun) -> list[Violation]:
             f"{k}: fast={fc.get(k)} ref={rc.get(k)}" for k in diff_keys[:5]
         )
         out.append(Violation(
-            "differential", "differential",
+            oracle, "differential",
             f"{len(diff_keys)} counters differ — {shown}",
         ))
     if fast.report.stats != reference.report.stats:
         out.append(Violation(
-            "differential", "differential",
+            oracle, "differential",
             f"class stats differ: fast={fast.report.stats}"
             f" ref={reference.report.stats}",
         ))
     if fast.report.drops != reference.report.drops:
         out.append(Violation(
-            "differential", "differential",
+            oracle, "differential",
             f"drop taxonomies differ: fast={fast.report.drops}"
             f" ref={reference.report.drops}",
         ))
@@ -437,7 +467,44 @@ def check_differential(fast: FuzzRun, reference: FuzzRun) -> list[Violation]:
             if a != b:
                 detail = f"first divergence at event {i}: fast={a} ref={b}"
                 break
-        out.append(Violation("differential", "differential", f"traces differ — {detail}"))
+        out.append(Violation(oracle, "differential", f"traces differ — {detail}"))
+    return out
+
+
+def check_observability_differential(on: FuzzRun, off: FuzzRun) -> list[Violation]:
+    """An observability-disabled run must produce the identical *simulation*
+    (per-class stats, drop taxonomy, events processed) while recording
+    nothing: zero counters and an empty trace prove the no-op swap is
+    actually in place rather than silently half-enabled."""
+    out: list[Violation] = []
+    if on.report.stats != off.report.stats:
+        out.append(Violation(
+            "observability_differential", "differential",
+            f"class stats differ: on={on.report.stats} off={off.report.stats}",
+        ))
+    if on.report.drops != off.report.drops:
+        out.append(Violation(
+            "observability_differential", "differential",
+            f"drop taxonomies differ: on={on.report.drops} off={off.report.drops}",
+        ))
+    if on.report.events_processed != off.report.events_processed:
+        out.append(Violation(
+            "observability_differential", "differential",
+            f"event counts differ: on={on.report.events_processed}"
+            f" off={off.report.events_processed}",
+        ))
+    live = {k: v for k, v in off.report.counters.items() if v}
+    if live:
+        shown = ", ".join(f"{k}={v}" for k, v in sorted(live.items())[:5])
+        out.append(Violation(
+            "observability_differential", "differential",
+            f"disabled registry still recorded {len(live)} counters — {shown}",
+        ))
+    if off.tracer.events:
+        out.append(Violation(
+            "observability_differential", "differential",
+            f"disabled run still traced {len(off.tracer.events)} events",
+        ))
     return out
 
 
@@ -446,12 +513,18 @@ def check_differential(fast: FuzzRun, reference: FuzzRun) -> list[Violation]:
 
 @dataclass
 class ScenarioResult:
-    """Verdict of one scenario across both datapath modes + differential."""
+    """Verdict of one scenario across every differential axis.
+
+    ``reference``/``fast`` are the two datapath legs (both under the
+    ``wheel`` scheduler); ``heap`` re-runs the fast datapath on the binary
+    heap oracle scheduler, and ``obs_off`` with observability disabled."""
 
     scenario: Scenario
     violations: list[Violation]
     reference: FuzzRun | None = None
     fast: FuzzRun | None = None
+    heap: FuzzRun | None = None
+    obs_off: FuzzRun | None = None
 
     @property
     def ok(self) -> bool:
@@ -459,12 +532,28 @@ class ScenarioResult:
 
 
 def run_scenario(scenario: Scenario) -> ScenarioResult:
-    """Execute under reference then fast, run every oracle, return verdict."""
-    reference = execute_scenario(scenario, "reference")
-    fast = execute_scenario(scenario, "fast")
+    """Execute a scenario across all four legs and run every oracle.
+
+    Legs: reference datapath, fast datapath (both on the ``wheel``
+    scheduler — the scale core is what ships), fast datapath on the
+    ``heap`` oracle scheduler, and fast datapath with observability
+    disabled.  The differential oracles require the first three to be
+    bit-identical in counters/stats/drops/trace, and the obs-off leg to be
+    the identical simulation with provably empty instrumentation.
+    """
+    reference = execute_scenario(scenario, "reference", scheduler="wheel")
+    fast = execute_scenario(scenario, "fast", scheduler="wheel")
+    heap = execute_scenario(scenario, "fast", scheduler="heap")
+    obs_off = execute_scenario(scenario, "fast", scheduler="wheel", observability="off")
     violations = (
-        check_run(reference) + check_run(fast) + check_differential(fast, reference)
+        check_run(reference)
+        + check_run(fast)
+        + check_run(heap)
+        + check_differential(fast, reference)
+        + check_differential(fast, heap, oracle="scheduler_differential")
+        + check_observability_differential(fast, obs_off)
     )
     return ScenarioResult(
-        scenario=scenario, violations=violations, reference=reference, fast=fast
+        scenario=scenario, violations=violations, reference=reference, fast=fast,
+        heap=heap, obs_off=obs_off,
     )

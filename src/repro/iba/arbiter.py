@@ -63,13 +63,20 @@ class VLArbiter:
         self,
         out_port: int,
         inputs: Sequence[InputBuffer],
-        credit_ok: Callable[[int], bool],
+        credit_ok: Callable[[int], bool] | None,
+        head_counts: Sequence[int] | None = None,
+        credits: Sequence[int] | None = None,
     ) -> tuple[int, ReadyEntry] | None:
         """Choose the next packet to cross to *out_port*.
 
         Only FIFO heads are eligible (per-VL order is preserved;
         head-of-line blocking across output ports is real and intended).
-        ``credit_ok(vl)`` reports downstream credit.
+        ``credit_ok(vl)`` reports downstream credit; callers on the hot
+        path may instead pass the per-VL *credits* list directly (and
+        ``credit_ok=None``) to skip a closure call per VL.  *head_counts*,
+        when given, is the switch's ready-head index for *out_port* (entry
+        per VL); a zero count proves :meth:`_scan` would find nothing, so
+        the scan is skipped — the picked packet is identical either way.
 
         Returns (input_port, entry) or None; does not mutate buffers.
         """
@@ -79,7 +86,12 @@ class VLArbiter:
             if streak >= self.high_limit:
                 order = tuple(reversed(PRIORITY_VLS))  # low priority's turn
         for vl in order:
-            if not credit_ok(vl):
+            if head_counts is not None and not head_counts[vl]:
+                continue
+            if credits is not None:
+                if credits[vl] <= 0:
+                    continue
+            elif not credit_ok(vl):
                 continue
             choice = self._scan(vl, out_port, inputs)
             if choice is None:

@@ -30,7 +30,7 @@ from repro.iba.arbiter import PRIORITY_VLS
 from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_NS, PS_PER_US
 from repro.sim.metrics import LatencySample, MetricsCollector
-from repro.sim.trace import Tracer
+from repro.sim.trace import Tracer, null_trace
 
 
 class AuthService(Protocol):
@@ -72,6 +72,9 @@ class HCA:
         self.lid = lid
         self.registry = registry if registry is not None else CounterRegistry()
         self.tracer = tracer
+        # Bound once: no per-emission branch on the untraced hot path
+        # (see repro.observability).
+        self._trace = tracer.record if tracer is not None else null_trace
         self._trace_name = f"hca{int(lid)}"
         self.num_vls = num_vls
         self.processing_delay_ps = round(processing_delay_ns * PS_PER_NS)
@@ -128,15 +131,12 @@ class HCA:
     def submit(self, packet: DataPacket) -> None:
         """Consumer posts a send work request.  ``t_created`` is now."""
         packet.t_created = self.engine.now
-        if self.tracer is not None:
-            self.tracer.record(
-                self.engine.now, "created", self._trace_name, packet.packet_id
-            )
+        self._trace(self.engine.now, "created", self._trace_name, packet.packet_id)
         delay = 0
         if self.auth is not None:
             delay = self.auth.prepare(packet, self)
         if delay > 0:
-            self.engine.schedule(delay, self._enqueue, packet)
+            self.engine.schedule_pooled(delay, self._enqueue, packet)
         else:
             self._enqueue(packet)
 
@@ -177,10 +177,7 @@ class HCA:
             if packet is None:
                 return
             packet.t_injected = self.engine.now
-            if self.tracer is not None:
-                self.tracer.record(
-                    self.engine.now, "injected", self._trace_name, packet.packet_id
-                )
+            self._trace(self.engine.now, "injected", self._trace_name, packet.packet_id)
             link.send(packet)
 
     # --- receive path -----------------------------------------------------------
@@ -194,14 +191,14 @@ class HCA:
         delay = self.processing_delay_ps
         if self.auth is not None:
             delay += self.auth.verify_delay_ps()
-        self.engine.schedule(delay, self._rx_done, packet)
+        self.engine.schedule_pooled(delay, self._rx_done, packet)
 
     def _rx_done(self, packet: DataPacket) -> None:
         self._check_and_deliver(packet)
         vl = packet.vl
         self._rx_occupancy[vl] -= 1
         if self.in_link is not None:
-            self.engine.schedule(self.credit_return_delay_ps, self.in_link.return_credit, vl)
+            self.in_link.schedule_credit(self.credit_return_delay_ps, vl)
 
     def _check_and_deliver(self, packet: DataPacket) -> None:
         # 1. Partition membership (stock IBA check, plus trap on failure).
@@ -245,10 +242,7 @@ class HCA:
                 self._drop("replay", packet)
                 return
         self.delivered.inc()
-        if self.tracer is not None:
-            self.tracer.record(
-                self.engine.now, "delivered", self._trace_name, packet.packet_id
-            )
+        self._trace(self.engine.now, "delivered", self._trace_name, packet.packet_id)
         if not packet.is_attack or self.record_attack_packets:
             self._record_sample(packet)
 
@@ -269,8 +263,8 @@ class HCA:
     def _drop(self, reason: str, packet: DataPacket | None = None) -> None:
         if self.metrics is not None:
             self.metrics.record_drop(reason)
-        if self.tracer is not None and packet is not None:
-            self.tracer.record(
+        if packet is not None:
+            self._trace(
                 self.engine.now, "dropped", self._trace_name,
                 packet.packet_id, reason,
             )
@@ -285,6 +279,8 @@ class HCA:
         self._last_trap_ps = now
         self.traps_sent.inc()
         if self.tracer is not None:
+            # Cold path (rate-limited), and the detail string is expensive
+            # to build — keep the explicit branch here.
             self.tracer.record(
                 now, "trap_raised", self._trace_name, packet.packet_id,
                 f"offender={int(packet.src)} pkey=0x{packet.pkey.value:04x}",

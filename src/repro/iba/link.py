@@ -23,7 +23,7 @@ from typing import Callable, Protocol
 from repro.iba.packet import DataPacket
 from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_NS
-from repro.sim.trace import Tracer
+from repro.sim.trace import Tracer, null_trace
 
 
 class Receiver(Protocol):
@@ -57,7 +57,10 @@ class Link:
         "tap",
         "registry",
         "tracer",
+        "_trace",
         "_in_transit",
+        "_batch",
+        "_pending_credit",
     )
 
     def __init__(
@@ -87,6 +90,9 @@ class Link:
         self.on_credit: Callable[[int], None] | None = None
         self.registry = registry if registry is not None else CounterRegistry()
         self.tracer = tracer
+        # Bound once here so the untraced hot path pays a no-op call, not a
+        # per-call branch (see repro.observability).
+        self._trace = tracer.record if tracer is not None else null_trace
         self.packets_sent = self.registry.counter(f"link.{name}.packets_sent")
         self.bytes_sent = self.registry.counter(f"link.{name}.bytes_sent")
         #: a failed link accepts no new packets (fault injection).
@@ -97,6 +103,10 @@ class Link:
         # packets currently on this link (serializing or in wire flight);
         # mechanism state like credits, exposed read-only via in_transit.
         self._in_transit = 0
+        # Scale core only: coalesce back-to-back same-instant credit
+        # returns into one flush event (see schedule_credit).
+        self._batch = engine.scale_core
+        self._pending_credit: list | None = None
 
     @property
     def in_transit(self) -> int:
@@ -113,13 +123,11 @@ class Link:
         (it has already left the transmitter); everything behind it waits
         until :meth:`restore`."""
         self.failed = True
-        if self.tracer is not None:
-            self.tracer.record(self.engine.now, "link_down", self.name)
+        self._trace(self.engine.now, "link_down", self.name)
 
     def restore(self) -> None:
         self.failed = False
-        if self.tracer is not None:
-            self.tracer.record(self.engine.now, "link_up", self.name)
+        self._trace(self.engine.now, "link_up", self.name)
         if self.on_credit is not None:
             self.on_credit(0)  # re-arm the sender's scheduler
         if self.on_free is not None and not self.busy:
@@ -145,12 +153,12 @@ class Link:
         self.packets_sent.inc()
         self.bytes_sent.inc(packet.wire_length)
         ser = self.serialization_ps(packet)
-        self.engine.schedule(ser, self._complete, packet)
+        self.engine.schedule_pooled(ser, self._complete, packet)
 
     def _complete(self, packet: DataPacket) -> None:
         self.busy = False
         # Store-and-forward: the packet is fully at the far end now (+wire).
-        self.engine.schedule(self.wire_delay_ps, self._arrive, packet)
+        self.engine.schedule_pooled(self.wire_delay_ps, self._arrive, packet)
         if self.on_free is not None:
             self.on_free()
 
@@ -164,3 +172,42 @@ class Link:
         self.credits[vl] += 1
         if self.on_credit is not None:
             self.on_credit(vl)
+
+    def schedule_credit(self, delay: int, vl: int) -> None:
+        """Schedule ``return_credit(vl)`` *delay* picoseconds from now.
+
+        Under the heap oracle this is exactly
+        ``engine.schedule(delay, self.return_credit, vl)``.  Under the
+        scale core, credits for the same instant scheduled back-to-back —
+        with **zero** intervening schedule calls anywhere in the engine,
+        proven by an unchanged :attr:`Engine.seq_mark` — coalesce into one
+        pooled flush event that replays ``return_credit`` per credit in
+        the original order.  Because the folded events would have held
+        consecutive sequence numbers at the same timestamp, no other event
+        can sort between them, so the replay is bit-identical to the
+        oracle's event-per-credit schedule (the differential fuzz harness
+        enforces this).
+        """
+        engine = self.engine
+        if not self._batch:
+            engine.schedule(delay, self.return_credit, vl)
+            return
+        pending = self._pending_credit
+        due = engine.now + delay
+        if (
+            pending is not None
+            and pending[0] == due
+            and pending[2] == engine.seq_mark
+        ):
+            pending[1].append(vl)
+            return
+        pending = [due, [vl], 0]
+        self._pending_credit = pending
+        engine.schedule_pooled(delay, self._flush_credits, pending)
+        pending[2] = engine.seq_mark
+
+    def _flush_credits(self, pending: list) -> None:
+        if self._pending_credit is pending:
+            self._pending_credit = None
+        for vl in pending[1]:
+            self.return_credit(vl)

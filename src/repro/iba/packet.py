@@ -120,7 +120,7 @@ class _CachedHeader:
         return self._packed_inv
 
 
-@dataclass
+@dataclass(init=False)
 class LocalRouteHeader(_CachedHeader):
     """LRH — link-layer routing header (8 bytes)."""
 
@@ -130,6 +130,21 @@ class LocalRouteHeader(_CachedHeader):
     slid: LID
     packet_length: int  #: wire length in 4-byte words, 11 bits.
     link_next_header: int = 2  #: 2 = BTH follows (IBA "LNH" for local packets).
+
+    def __init__(self, vl: int, service_level: int, dlid: LID, slid: LID,
+                 packet_length: int, link_next_header: int = 2) -> None:
+        # Hand-written so construction writes fields raw and bumps the
+        # mutation stamp once, instead of once per field through the
+        # stamped __setattr__ (packet construction is the hot path's
+        # biggest allocator; see _CachedHeader).
+        s = object.__setattr__
+        s(self, "vl", vl)
+        s(self, "service_level", service_level)
+        s(self, "dlid", dlid)
+        s(self, "slid", slid)
+        s(self, "packet_length", packet_length)
+        s(self, "link_next_header", link_next_header)
+        s(self, "_stamp", next(_HEADER_STAMPS))
 
     def pack(self) -> bytes:
         word0 = ((self.vl & 0xF) << 4) | 0x0  # LVer = 0
@@ -166,7 +181,7 @@ class LocalRouteHeader(_CachedHeader):
         )
 
 
-@dataclass
+@dataclass(init=False)
 class BaseTransportHeader(_CachedHeader):
     """BTH — transport header (12 bytes)."""
 
@@ -180,6 +195,21 @@ class BaseTransportHeader(_CachedHeader):
     solicited: bool = False
     migreq: bool = False
     pad_count: int = 0
+
+    def __init__(self, opcode: int, pkey: PKey, dest_qp: QPN, psn: int,
+                 reserved_auth: int = 0, solicited: bool = False,
+                 migreq: bool = False, pad_count: int = 0) -> None:
+        # Raw field writes + one stamp bump (see LocalRouteHeader.__init__).
+        s = object.__setattr__
+        s(self, "opcode", opcode)
+        s(self, "pkey", pkey)
+        s(self, "dest_qp", dest_qp)
+        s(self, "psn", psn)
+        s(self, "reserved_auth", reserved_auth)
+        s(self, "solicited", solicited)
+        s(self, "migreq", migreq)
+        s(self, "pad_count", pad_count)
+        s(self, "_stamp", next(_HEADER_STAMPS))
 
     def pack(self) -> bytes:
         flags = (
@@ -227,12 +257,19 @@ class BaseTransportHeader(_CachedHeader):
         )
 
 
-@dataclass
+@dataclass(init=False)
 class DatagramExtendedHeader(_CachedHeader):
     """DETH — datagram extended transport header (8 bytes)."""
 
     qkey: QKey
     src_qp: QPN
+
+    def __init__(self, qkey: QKey, src_qp: QPN) -> None:
+        # Raw field writes + one stamp bump (see LocalRouteHeader.__init__).
+        s = object.__setattr__
+        s(self, "qkey", qkey)
+        s(self, "src_qp", src_qp)
+        s(self, "_stamp", next(_HEADER_STAMPS))
 
     def pack(self) -> bytes:
         return struct.pack(

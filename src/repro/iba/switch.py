@@ -28,7 +28,7 @@ from repro.iba.link import Link
 from repro.iba.packet import DataPacket
 from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_NS
-from repro.sim.trace import Tracer
+from repro.sim.trace import Tracer, null_trace
 
 #: Port index that faces the attached HCA on every switch.
 HCA_PORT = 0
@@ -75,6 +75,16 @@ class Switch:
         self.filters: list[PortFilter | None] = [None] * num_ports
         self.route_table: dict[int, int] = {}  #: dest LID -> output port
         self.arbiter = VLArbiter(num_vls, high_limit=arbiter_high_limit)
+        # Scale-core arbitration index: _head_ready[out_port][vl] counts the
+        # input FIFOs whose current *head* is ready for that (port, VL).
+        # Most pump wakeups on a big switch find nothing to grant; the index
+        # lets the scale core skip those O(ports) scans outright.  The
+        # counts are maintained unconditionally (a few list ops per grant)
+        # but only *consulted* when the engine runs the scale core, so the
+        # "heap" oracle keeps the pre-scale-up arbitration path verbatim.
+        self._fast_arb = engine.scale_core
+        self._head_ready = [[0] * num_vls for _ in range(num_ports)]
+        self._head_ready_total = [0] * num_ports
         #: packets received but still in the routing/enforcement pipeline
         #: stage (packet_id -> packet).  A crashed switch leaks these too —
         #: they are physically in the input buffer even before make_ready.
@@ -82,6 +92,12 @@ class Switch:
         # statistics (registry-owned; see repro.sim.counters)
         self.registry = registry if registry is not None else CounterRegistry()
         self.tracer = tracer
+        # Trace emission is a call through _trace — bound once here to the
+        # real recorder or a no-op — with the per-port detail strings
+        # precomputed, so the untraced hot path neither branches nor
+        # formats (see repro.observability).
+        self._trace = tracer.record if tracer is not None else null_trace
+        self._port_detail = [f"port {p}" for p in range(num_ports)]
         self.forwarded = self.registry.counter(f"switch.{name}.forwarded")
         self.filtered_drops = self.registry.counter(f"switch.{name}.filtered_drops")
         self.unroutable_drops = self.registry.counter(f"switch.{name}.unroutable_drops")
@@ -106,11 +122,10 @@ class Switch:
         """Packet fully arrived at *in_port* (store-and-forward)."""
         self.inputs[in_port].begin_processing(packet.vl)
         self._in_pipeline[packet.packet_id] = packet
-        if self.tracer is not None:
-            self.tracer.record(
-                self.engine.now, "switch_rx", self.name, packet.packet_id,
-                f"port {in_port}",
-            )
+        self._trace(
+            self.engine.now, "switch_rx", self.name, packet.packet_id,
+            self._port_detail[in_port],
+        )
         extra_ns = 0.0
         accept = True
         policy = self.filters[in_port]
@@ -118,7 +133,7 @@ class Switch:
             accept, extra_ns = policy.process(packet, self.engine.now)
             self.lookup_stalls_ns.add(extra_ns)
         delay = self.routing_delay_ps + round(extra_ns * PS_PER_NS)
-        self.engine.schedule(delay, self._pipeline_done, packet, in_port, accept)
+        self.engine.schedule_pooled(delay, self._pipeline_done, packet, in_port, accept)
 
     def pipeline_packets(self) -> list[DataPacket]:
         """Packets currently in the routing/enforcement pipeline stage."""
@@ -138,24 +153,27 @@ class Switch:
         self._in_pipeline.pop(packet.packet_id, None)
         if not accept:
             self.filtered_drops.inc()
-            if self.tracer is not None:
-                self.tracer.record(
-                    self.engine.now, "filtered", self.name, packet.packet_id,
-                    f"port {in_port}",
-                )
+            self._trace(
+                self.engine.now, "filtered", self.name, packet.packet_id,
+                self._port_detail[in_port],
+            )
             self._release_slot(in_port, packet.vl)
             return
         out_port = self.route_table.get(int(packet.dst))
         if out_port is None or self.out_links[out_port] is None:
             self.unroutable_drops.inc()
-            if self.tracer is not None:
-                self.tracer.record(
-                    self.engine.now, "unroutable", self.name, packet.packet_id,
-                    f"port {in_port}",
-                )
+            self._trace(
+                self.engine.now, "unroutable", self.name, packet.packet_id,
+                self._port_detail[in_port],
+            )
             self._release_slot(in_port, packet.vl)
             return
-        self.inputs[in_port].make_ready(packet, out_port)
+        buf = self.inputs[in_port]
+        buf.make_ready(packet, out_port)
+        vl = packet.vl
+        if len(buf.fifos[vl].ready) == 1:  # became its FIFO's head
+            self._head_ready[out_port][vl] += 1
+            self._head_ready_total[out_port] += 1
         self._pump(out_port)
 
     def reroute_buffered(self) -> int:
@@ -180,19 +198,30 @@ class Switch:
                         self.unroutable_drops.inc()
                         dropped += 1
                         if upstream is not None:
-                            self.engine.schedule(
-                                self.credit_return_delay_ps,
-                                upstream.return_credit,
-                                vl,
-                            )
+                            upstream.schedule_credit(self.credit_return_delay_ps, vl)
                         continue
                     entry.out_port = new_port
                     kept.append(entry)
                 fifo.ready.clear()
                 fifo.ready.extend(kept)
+        self._rebuild_head_ready()
         for port in range(self.num_ports):
             self._pump(port)
         return dropped
+
+    def _rebuild_head_ready(self) -> None:
+        """Recount the ready-head index from scratch (after reroute edits
+        the FIFOs in place)."""
+        head_ready = [[0] * self.num_vls for _ in range(self.num_ports)]
+        head_total = [0] * self.num_ports
+        for buf in self.inputs:
+            for vl, fifo in enumerate(buf.fifos):
+                if fifo.ready:
+                    port = fifo.ready[0].out_port
+                    head_ready[port][vl] += 1
+                    head_total[port] += 1
+        self._head_ready = head_ready
+        self._head_ready_total = head_total
 
     def _release_slot(self, in_port: int, vl: int, processing: bool = True) -> None:
         """Free an input slot and send the credit back upstream."""
@@ -200,7 +229,7 @@ class Switch:
             self.inputs[in_port].drop_processing(vl)
         upstream = self.in_links[in_port]
         if upstream is not None:
-            self.engine.schedule(self.credit_return_delay_ps, upstream.return_credit, vl)
+            upstream.schedule_credit(self.credit_return_delay_ps, vl)
 
     def _pump(self, out_port: int) -> None:
         """Crossbar scheduling pass starting at *out_port*.
@@ -212,40 +241,56 @@ class Switch:
         (the event loop's hottest path, per profiling).
         """
         work = {out_port}
+        fast = self._fast_arb
+        head_ready = self._head_ready
+        head_total = self._head_ready_total
         while work:
             port = work.pop()
+            if fast and not head_total[port]:
+                continue  # no FIFO head wants this port — nothing to grant
             link = self.out_links[port]
             if link is None:
                 continue
-            # one credit-check closure per port visit, not per grant — this
-            # loop fires on every link-free/credit wakeup of a loaded switch
+            # scale core hands the arbiter the raw credit list (no closure
+            # call per VL); the oracle keeps the pre-scale-up closure —
+            # this loop fires on every link-free/credit wakeup of a loaded
+            # switch
             credits = link.credits
-            has_credit = lambda vl: credits[vl] > 0
+            if fast:
+                has_credit, counts, creds = None, head_ready[port], credits
+            else:
+                has_credit = lambda vl: credits[vl] > 0
+                counts, creds = None, None
             while not link.busy and not link.failed:
-                choice = self.arbiter.pick(port, self.inputs, has_credit)
+                choice = self.arbiter.pick(port, self.inputs, has_credit, counts, creds)
                 if choice is None:
                     break
                 in_port, entry = choice
-                fifo = self.inputs[in_port].fifos[entry.packet.vl]
-                self.inputs[in_port].pop_head(entry.packet.vl)
+                vl = entry.packet.vl
+                fifo = self.inputs[in_port].fifos[vl]
+                self.inputs[in_port].pop_head(vl)
+                head_ready[port][vl] -= 1
+                head_total[port] -= 1
                 uncovered = fifo.head()
-                if uncovered is not None and uncovered.out_port != port:
-                    work.add(uncovered.out_port)
+                if uncovered is not None:
+                    up = uncovered.out_port
+                    head_ready[up][vl] += 1
+                    head_total[up] += 1
+                    if up != port:
+                        work.add(up)
                 link.send(entry.packet)
                 self.forwarded.inc()
-                if self.tracer is not None:
-                    self.tracer.record(
-                        self.engine.now, "forwarded", self.name,
-                        entry.packet.packet_id, f"port {port}",
-                    )
+                self._trace(
+                    self.engine.now, "forwarded", self.name,
+                    entry.packet.packet_id, self._port_detail[port],
+                )
                 # The input slot stays occupied until the outgoing
                 # transmission completes; only then does the credit travel
                 # back upstream.
                 ser = link.serialization_ps(entry.packet)
                 upstream = self.in_links[in_port]
                 if upstream is not None:
-                    self.engine.schedule(
+                    upstream.schedule_credit(
                         ser + self.credit_return_delay_ps,
-                        upstream.return_credit,
                         entry.packet.vl,
                     )

@@ -49,6 +49,10 @@ class Fabric:
     hcas: dict[int, HCA] = field(default_factory=dict)  #: LID -> HCA
     #: LID -> (switch coordinates) of the node's ingress switch.
     ingress_of: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: LID -> input port on the ingress switch its HCA feeds.  On the mesh
+    #: this is always HCA_PORT; a fat-tree edge switch hosts several HCAs,
+    #: one per low-numbered port.
+    ingress_port_of: dict[int, int] = field(default_factory=dict)
     sm: SubnetManager | None = None
     #: single namespace every component's statistics live in.
     registry: CounterRegistry = field(default_factory=CounterRegistry)
@@ -64,6 +68,11 @@ class Fabric:
 
     def ingress_switch(self, lid: int) -> Switch:
         return self.switches[self.ingress_of[int(lid)]]
+
+    def ingress_port(self, lid: int) -> int:
+        """Input port of ``ingress_switch(lid)`` that faces the node's HCA
+        — where ingress enforcement (IF/SIF) attaches."""
+        return self.ingress_port_of.get(int(lid), HCA_PORT)
 
     def all_switches(self) -> list[Switch]:
         return [self.switches[k] for k in sorted(self.switches)]
@@ -161,6 +170,7 @@ def build_mesh(
             )
             fabric.hcas[int(lid)] = hca
             fabric.ingress_of[int(lid)] = (x, y)
+            fabric.ingress_port_of[int(lid)] = HCA_PORT
 
     # HCA <-> switch links
     for (x, y), sw in fabric.switches.items():
@@ -228,8 +238,189 @@ def build_line(
     return build_mesh(engine, cfg, metrics, registry=registry, tracer=tracer)
 
 
+#: fat-tree switch layers (first element of a switch's coordinate tuple).
+FT_EDGE, FT_AGG, FT_CORE = 0, 1, 2
+
+
+def fat_tree_lid(pod: int, edge: int, host: int, k: int) -> LID:
+    """LID of host *host* on edge switch *edge* of pod *pod*.  LID 0 is
+    reserved, matching :func:`node_lid`."""
+    half = k // 2
+    return LID(1 + pod * half * half + edge * half + host)
+
+
+def build_fat_tree(
+    engine: Engine,
+    config: SimConfig,
+    metrics: MetricsCollector,
+    registry: CounterRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Fabric:
+    """Construct the k-ary fat tree described by *config* (k = fat_tree_k).
+
+    Standard three-layer Clos: k pods, each with k/2 edge and k/2
+    aggregation switches of k ports, over (k/2)^2 core switches; every
+    edge switch hosts k/2 HCAs on ports 0..k/2-1 and uplinks on ports
+    k/2..k-1.  k^3/4 HCAs total (k=4 -> 16, k=8 -> 128, k=16 -> 1024).
+
+    Routing is deterministic and loop-free: up-paths hash on the
+    destination LID (``(lid-1) % (k/2)`` picks the uplink at both edge
+    and aggregation layers), so all traffic toward one destination uses
+    one core; down-paths are fully determined by the tree.  Switch
+    coordinates are ``(layer, index)`` with layer in (FT_EDGE, FT_AGG,
+    FT_CORE).
+    """
+    config.validate()
+    if config.topology != "fat_tree":
+        raise ValueError("build_fat_tree needs config.topology == 'fat_tree'")
+    fabric = Fabric(
+        engine=engine, config=config, metrics=metrics,
+        registry=registry if registry is not None else CounterRegistry(),
+        tracer=tracer,
+    )
+    k = config.fat_tree_k
+    half = k // 2
+    byte_ps = config.byte_time_ps
+
+    def make_switch(name: str) -> Switch:
+        return Switch(
+            engine,
+            name=name,
+            num_ports=k,
+            num_vls=config.num_vls,
+            vl_buffer_packets=config.vl_buffer_packets,
+            routing_delay_ns=config.switch_routing_delay_ns,
+            credit_return_delay_ns=config.credit_return_delay_ns,
+            arbiter_high_limit=config.vl_arbitration_high_limit,
+            registry=fabric.registry,
+            tracer=tracer,
+        )
+
+    def wire(src: Switch, src_port: int, dst: Switch, dst_port: int) -> None:
+        link = Link(
+            engine, f"{src.name}.p{src_port}->{dst.name}.p{dst_port}", byte_ps,
+            dst, dst_port, config.num_vls, config.vl_buffer_packets,
+            config.wire_delay_ns, registry=fabric.registry, tracer=tracer,
+        )
+        src.attach_out_link(src_port, link)
+        dst.attach_in_link(dst_port, link)
+
+    # switches
+    for pod in range(k):
+        for i in range(half):
+            fabric.switches[(FT_EDGE, pod * half + i)] = make_switch(f"ftE{pod}-{i}")
+            fabric.switches[(FT_AGG, pod * half + i)] = make_switch(f"ftA{pod}-{i}")
+    for c in range(half * half):
+        fabric.switches[(FT_CORE, c)] = make_switch(f"ftC{c}")
+
+    # HCAs and host links
+    for pod in range(k):
+        for e in range(half):
+            sw = fabric.switches[(FT_EDGE, pod * half + e)]
+            for h in range(half):
+                lid = fat_tree_lid(pod, e, h, k)
+                hca = HCA(
+                    engine,
+                    lid=lid,
+                    num_vls=config.num_vls,
+                    vl_buffer_packets=config.vl_buffer_packets,
+                    processing_delay_ns=config.hca_processing_delay_ns,
+                    credit_return_delay_ns=config.credit_return_delay_ns,
+                    metrics=metrics,
+                    warmup_ps=config.warmup_ps,
+                    registry=fabric.registry,
+                    tracer=tracer,
+                )
+                fabric.hcas[int(lid)] = hca
+                fabric.ingress_of[int(lid)] = (FT_EDGE, pod * half + e)
+                fabric.ingress_port_of[int(lid)] = h
+                up = Link(
+                    engine, f"hca{int(lid)}->{sw.name}.p{h}", byte_ps, sw, h,
+                    config.num_vls, config.vl_buffer_packets,
+                    config.wire_delay_ns,
+                    registry=fabric.registry, tracer=tracer,
+                )
+                hca.attach_out_link(up)
+                sw.attach_in_link(h, up)
+                down = Link(
+                    engine, f"{sw.name}.p{h}->hca{int(lid)}", byte_ps, hca, 0,
+                    config.num_vls, config.vl_buffer_packets,
+                    config.wire_delay_ns,
+                    registry=fabric.registry, tracer=tracer,
+                )
+                sw.attach_out_link(h, down)
+                hca.attach_in_link(down)
+
+    # edge <-> aggregation (edge port half+a <-> agg port e, within a pod)
+    for pod in range(k):
+        for e in range(half):
+            edge = fabric.switches[(FT_EDGE, pod * half + e)]
+            for a in range(half):
+                agg = fabric.switches[(FT_AGG, pod * half + a)]
+                wire(edge, half + a, agg, e)
+                wire(agg, e, edge, half + a)
+
+    # aggregation <-> core (agg a port half+j <-> core a*half+j port pod)
+    for pod in range(k):
+        for a in range(half):
+            agg = fabric.switches[(FT_AGG, pod * half + a)]
+            for j in range(half):
+                core = fabric.switches[(FT_CORE, a * half + j)]
+                wire(agg, half + j, core, pod)
+                wire(core, pod, agg, half + j)
+
+    # routing tables (deterministic destination-hashed up-paths)
+    dests = []
+    for lid in fabric.lids:
+        lid0 = lid - 1
+        dests.append((
+            lid,
+            lid0 // (half * half),          # destination pod
+            (lid0 % (half * half)) // half,  # destination edge switch
+            lid0 % half,                     # host port on that edge switch
+            half + lid0 % half,              # up-port used toward this dest
+        ))
+    for pod in range(k):
+        for i in range(half):
+            edge = fabric.switches[(FT_EDGE, pod * half + i)]
+            agg = fabric.switches[(FT_AGG, pod * half + i)]
+            for lid, dpod, dedge, dhost, up in dests:
+                edge.route_table[lid] = (
+                    dhost if dpod == pod and dedge == i else up
+                )
+                agg.route_table[lid] = dedge if dpod == pod else up
+    for c in range(half * half):
+        core = fabric.switches[(FT_CORE, c)]
+        for lid, dpod, _, _, _ in dests:
+            core.route_table[lid] = dpod
+    return fabric
+
+
+def build_fabric(
+    engine: Engine,
+    config: SimConfig,
+    metrics: MetricsCollector,
+    registry: CounterRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Fabric:
+    """Construct whichever fabric *config.topology* names."""
+    builder = build_fat_tree if config.topology == "fat_tree" else build_mesh
+    return builder(engine, config, metrics, registry=registry, tracer=tracer)
+
+
 def path_length(fabric: Fabric, src: int, dst: int) -> int:
-    """Number of switch hops between two nodes under XY routing."""
+    """Number of switch hops between two nodes (XY on the mesh; the
+    1/3/5-switch tree paths on a fat tree)."""
+    if fabric.config.topology == "fat_tree":
+        if int(src) == int(dst):
+            return 1
+        half = fabric.config.fat_tree_k // 2
+        s_edge, d_edge = fabric.ingress_of[int(src)], fabric.ingress_of[int(dst)]
+        if s_edge == d_edge:
+            return 1
+        if s_edge[1] // half == d_edge[1] // half:  # same pod
+            return 3
+        return 5
     sx, sy = fabric.ingress_of[int(src)]
     dx, dy = fabric.ingress_of[int(dst)]
     return abs(sx - dx) + abs(sy - dy) + 1
@@ -253,19 +444,22 @@ def recompute_routes(fabric: Fabric, avoid: set[tuple[int, int]] | None = None) 
     from collections import deque
 
     avoid = avoid or set()
-    # reverse adjacency over healthy directed links: B -> [(A, port on A)]
+    # reverse adjacency over healthy directed links: B -> [(A, port on A)].
+    # Walked via each switch's out_links (topology-agnostic): a link whose
+    # dst is an HCA is not in coords_of and is skipped.  On the mesh the
+    # port order 1..4 reproduces the old E,W,N,S scan exactly.
+    coords_of = {id(sw): coords for coords, sw in fabric.switches.items()}
     reverse: dict[tuple[int, int], list[tuple[tuple[int, int], int]]] = {
         coords: [] for coords in fabric.switches
     }
     for coords, sw in fabric.switches.items():
         if coords in avoid:
             continue
-        for port, (dx, dy) in _DIRS.items():
-            ncoords = (coords[0] + dx, coords[1] + dy)
-            if ncoords in avoid or ncoords not in fabric.switches:
-                continue
-            link = sw.out_links[port]
+        for port, link in enumerate(sw.out_links):
             if link is None or link.failed:
+                continue
+            ncoords = coords_of.get(id(link.dst))
+            if ncoords is None or ncoords in avoid:
                 continue
             reverse[ncoords].append((coords, port))
 
@@ -275,7 +469,9 @@ def recompute_routes(fabric: Fabric, avoid: set[tuple[int, int]] | None = None) 
     for dest_lid, dest_coords in fabric.ingress_of.items():
         if dest_coords in avoid:
             continue
-        fabric.switches[dest_coords].route_table[int(dest_lid)] = HCA_PORT
+        fabric.switches[dest_coords].route_table[int(dest_lid)] = (
+            fabric.ingress_port(dest_lid)
+        )
         installed += 1
         visited = {dest_coords}
         frontier = deque([dest_coords])

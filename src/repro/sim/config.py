@@ -63,8 +63,14 @@ class SimConfig:
     mtu_bytes: int = 1024  #: realtime and best-effort MTU.
 
     # --- topology ----------------------------------------------------------
+    topology: str = "mesh"
+    """Fabric shape: ``"mesh"`` (the paper's 16-node testbed, dimensions
+    below) or ``"fat_tree"`` (k-ary fat tree for scale benchmarks —
+    ``fat_tree_k`` pods of k/2 edge + k/2 aggregation switches over
+    (k/2)^2 cores, k^3/4 HCAs total)."""
     mesh_width: int = 4
     mesh_height: int = 4
+    fat_tree_k: int = 4  #: arity when topology == "fat_tree" (k=4 -> 16 HCAs).
 
     # --- timing model -------------------------------------------------------
     switch_routing_delay_ns: float = 200.0  #: fixed per-hop pipeline latency.
@@ -160,6 +166,8 @@ class SimConfig:
 
     @property
     def num_nodes(self) -> int:
+        if self.topology == "fat_tree":
+            return self.fat_tree_k ** 3 // 4
         return self.mesh_width * self.mesh_height
 
     @property
@@ -174,7 +182,12 @@ class SimConfig:
         """Raise ValueError on inconsistent settings."""
         if self.link_bandwidth_gbps <= 0:
             raise ValueError("link bandwidth must be positive")
-        if self.mesh_width < 1 or self.mesh_height < 1:
+        if self.topology not in ("mesh", "fat_tree"):
+            raise ValueError("topology must be 'mesh' or 'fat_tree'")
+        if self.topology == "fat_tree":
+            if self.fat_tree_k < 2 or self.fat_tree_k % 2:
+                raise ValueError("fat_tree_k must be an even integer >= 2")
+        elif self.mesh_width < 1 or self.mesh_height < 1:
             raise ValueError("mesh dimensions must be >= 1")
         if not 0 <= self.num_attackers <= self.num_nodes:
             raise ValueError("attacker count out of range")

@@ -128,6 +128,31 @@ class Counter:
         return f"Counter({self.name}={self.value!r})"
 
 
+class NullCounter(Counter):
+    """A counter whose mutators are no-ops and whose value is pinned at 0.
+
+    A **disabled** :class:`CounterRegistry` hands every requester the same
+    shared instance, so hot-path call sites keep their unconditional
+    ``self.stat.inc()`` shape — the increment itself becomes a no-op
+    method call rather than a per-call ``if`` (the zero-cost-observability
+    contract; see :mod:`repro.observability`).  Reads still behave like the
+    number 0, so diagnostic code that compares counters keeps working.
+    """
+
+    __slots__ = ()
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+    add = inc
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"NullCounter({self.name})"
+
+
 class CounterRegistry:
     """Flat, ordered namespace of :class:`Counter` objects.
 
@@ -135,15 +160,31 @@ class CounterRegistry:
     an existing name returns the same object, so a component constructed
     twice against the same registry shares (and keeps accumulating into)
     its counters — components therefore use unique instance scopes.
+
+    Built with ``enabled=False`` the registry is a black hole: every
+    :meth:`counter` request returns one shared :class:`NullCounter`, the
+    namespace stays empty, and :meth:`snapshot` is ``{}``.  Simulation
+    behavior is unchanged because nothing in the data path *reads* plain
+    counters to make decisions — state the simulation does read (e.g. the
+    SIF Invalid P_Key violation counter, whose idle-timeout check compares
+    successive values) must be requested via :meth:`state_counter`, which
+    stays a real mutable counter in either mode.
     """
 
-    __slots__ = ("_counters",)
+    __slots__ = ("_counters", "enabled", "_null", "_state")
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = True) -> None:
         self._counters: dict[str, Counter] = {}
+        self.enabled = enabled
+        self._null = NullCounter("disabled") if not enabled else None
+        # real counters handed out while disabled (see state_counter) —
+        # kept out of _counters so snapshot()/names() stay empty.
+        self._state: dict[str, Counter] = {}
 
     def counter(self, name: str, initial: int | float = 0) -> Counter:
         """Create (or fetch) the counter called *name*."""
+        if self._null is not None:
+            return self._null
         c = self._counters.get(name)
         if c is None:
             c = Counter(name, initial)
@@ -153,6 +194,22 @@ class CounterRegistry:
     #: Gauges are counters whose value is *set* rather than accumulated;
     #: the registry does not distinguish — the alias documents intent.
     gauge = counter
+
+    def state_counter(self, name: str, initial: int | float = 0) -> Counter:
+        """Create (or fetch) a counter that models **hardware state** the
+        simulation reads to make decisions.  Unlike :meth:`counter`, a
+        disabled registry still returns a real, mutable counter — nulling
+        it would change simulation behavior, not just observability.  When
+        disabled the counter is excluded from the exported namespace
+        (:meth:`snapshot` stays ``{}``); when enabled it is an ordinary
+        registry counter."""
+        if self._null is None:
+            return self.counter(name, initial)
+        c = self._state.get(name)
+        if c is None:
+            c = Counter(name, initial)
+            self._state[name] = c
+        return c
 
     def get(self, name: str) -> int | float:
         """Current value of *name* (0 when never registered)."""

@@ -1,21 +1,29 @@
 """Event-driven simulation core.
 
-A single binary heap of :class:`Event` records ordered by (time, priority,
-sequence).  Time is an **integer picosecond** count: at the paper's 2.5 Gbps
-link rate one byte takes exactly 3200 ps, so integer time keeps every
-latency exact and every run bit-reproducible — no floating-point ties, no
-platform-dependent ordering.
+Events are ordered by (time, priority, sequence).  Time is an **integer
+picosecond** count: at the paper's 2.5 Gbps link rate one byte takes exactly
+3200 ps, so integer time keeps every latency exact and every run
+bit-reproducible — no floating-point ties, no platform-dependent ordering.
 
 The sequence number breaks ties deterministically in scheduling order, which
 matters because DoS experiments schedule thousands of same-instant events
 (credit returns, arbitration passes) whose relative order must not depend on
-heap internals.
+queue internals.
+
+The queue structure itself is pluggable (:mod:`repro.sim.scheduler`): a
+binary heap kept as the oracle, or a calendar queue for fat-tree-scale runs.
+Both produce the identical (time, priority, seq) pop order; an engine
+samples the module-level mode at construction.  Under the ``wheel`` scale
+core the engine additionally recycles fire-and-forget events through a
+free list (:meth:`Engine.schedule_pooled`) so the steady-state hot path
+allocates nothing per event.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable
+
+from repro.sim.scheduler import get_scheduler, make_scheduler
 
 #: Picoseconds per microsecond — metrics convert through this.
 PS_PER_US = 1_000_000
@@ -26,13 +34,17 @@ PS_PER_NS = 1_000
 class Event:
     """One scheduled callback.  Ordered by (time, priority, seq).
 
-    Heap entries are ``(time, priority, seq, event)`` tuples, so ordering
+    Queue entries are ``(time, priority, seq, event)`` tuples, so ordering
     is resolved by C-level tuple comparison (seq is unique, the event
     object itself is never compared) — profiling showed dataclass-generated
     ``__lt__`` dominating the event loop otherwise.
+
+    ``pooled`` marks events owned by the engine's free list: they were
+    scheduled fire-and-forget (no handle escaped, so nothing can cancel
+    them) and are recycled after firing.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "pooled")
 
     def __init__(self, time: int, priority: int, seq: int,
                  fn: Callable[..., None], args: tuple[Any, ...] = ()) -> None:
@@ -42,6 +54,7 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.pooled = False
 
     def cancel(self) -> None:
         """Mark the event dead; the engine skips it when popped."""
@@ -60,14 +73,23 @@ class Engine:
     ['a', 'b']
     """
 
-    __slots__ = ("_queue", "_now", "_seq", "_processed")
+    __slots__ = ("_sched", "_push", "_now", "_seq", "_processed", "_pool",
+                 "scheduler_mode", "scale_core")
 
-    def __init__(self) -> None:
-        #: heap of (time, priority, seq, Event)
-        self._queue: list[tuple[int, int, int, Event]] = []
+    def __init__(self, scheduler: str | None = None) -> None:
+        #: which queue family this engine runs on (fixed at construction).
+        self.scheduler_mode = scheduler if scheduler is not None else get_scheduler()
+        #: True when the scale core is active: calendar queue, event
+        #: pooling, and link credit coalescing.  False = the pre-scale-up
+        #: oracle behavior.
+        self.scale_core = self.scheduler_mode == "wheel"
+        self._sched = make_scheduler(self.scheduler_mode)
+        self._push = self._sched.push  # bound once; schedule paths are hot
         self._now = 0
         self._seq = 0
         self._processed = 0
+        #: free list of recycled fire-and-forget events.
+        self._pool: list[Event] = []
 
     @property
     def now(self) -> int:
@@ -83,38 +105,92 @@ class Engine:
     def events_processed(self) -> int:
         return self._processed
 
+    @property
+    def pending_count(self) -> int:
+        """Entries currently queued (live + not-yet-discarded cancelled)."""
+        return len(self._sched)
+
+    @property
+    def seq_mark(self) -> int:
+        """Opaque marker that changes on every schedule call.  Two reads
+        returning the same value prove no event was scheduled in between —
+        the link layer uses this to coalesce credit returns only when doing
+        so cannot reorder anything."""
+        return self._seq
+
     def schedule(self, delay: int, fn: Callable[..., None], *args: Any, priority: int = 0) -> Event:
         """Schedule *fn(*args)* to run *delay* picoseconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), fn, *args, priority=priority)
+        time = self._now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        self._push((time, priority, seq, ev))
+        return ev
 
     def schedule_at(self, time: int, fn: Callable[..., None], *args: Any, priority: int = 0) -> Event:
         """Schedule *fn(*args)* at absolute *time* picoseconds."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
-        ev = Event(int(time), priority, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, (ev.time, priority, ev.seq, ev))
+        time = int(time)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        self._push((time, priority, seq, ev))
         return ev
+
+    def schedule_pooled(self, delay: int, fn: Callable[..., None], *args: Any,
+                        priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle is returned, so the
+        event can never be cancelled and the engine may recycle the record
+        through its free list.  Under the ``heap`` oracle this degrades to a
+        plain allocation, keeping that mode's behavior pre-scale-up.
+
+        Ordering is identical to :meth:`schedule` either way — the event
+        still consumes one sequence number at schedule time."""
+        if not self.scale_core:
+            self.schedule(delay, fn, *args, priority=priority)
+            return
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+        else:
+            ev = Event(time, priority, seq, fn, args)
+            ev.pooled = True
+        self._push((time, priority, seq, ev))
 
     def peek_time(self) -> int | None:
         """Time of the next live event, or None if the queue is drained."""
-        while self._queue and self._queue[0][3].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+        head = self._sched.peek()
+        return head[0] if head is not None else None
 
     def step(self) -> bool:
         """Run the next event.  Returns False when no events remain."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)[3]
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            ev.fn(*ev.args)
-            self._processed += 1
-            return True
-        return False
+        sched = self._sched
+        head = sched.peek()
+        if head is None:
+            return False
+        sched.pop_head()
+        ev = head[3]
+        self._now = head[0]
+        ev.fn(*ev.args)
+        self._processed += 1
+        if ev.pooled:
+            ev.fn = None  # type: ignore[assignment]
+            ev.args = ()
+            self._pool.append(ev)
+        return True
 
     def run(self, until: int | None = None, max_events: int | None = None) -> None:
         """Run events until the queue empties, *until* (ps) passes, or
@@ -128,32 +204,13 @@ class Engine:
         call resumes exactly where the budget ran out instead of silently
         skipping over the unprocessed events' timestamps.
         """
-        # One heap inspection per iteration: the loop looks at the heap top
-        # exactly once, discarding cancelled entries as it finds them.  The
-        # previous shape called peek_time() (which pops cancelled entries)
-        # and then step() (which re-scanned from the heap top) — two
-        # comparisons and two tuple unpacks per live event.  Cancelled
-        # events never count against *max_events*, exactly as before.
-        count = 0
-        budget_hit = False
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            if max_events is not None and count >= max_events:
-                budget_hit = True
-                break
-            head = queue[0]
-            ev = head[3]
-            if ev.cancelled:
-                pop(queue)
-                continue
-            if until is not None and head[0] > until:
-                break
-            pop(queue)
-            self._now = ev.time
-            ev.fn(*ev.args)
-            self._processed += 1
-            count += 1
+        # The loop itself lives on the scheduler (``drain``) so each queue
+        # family runs its own fused peek/pop hot path — the heap keeps the
+        # pre-scale-up inline loop verbatim, the wheel walks its current
+        # bucket with a local cursor.  Cancelled entries are discarded as
+        # they surface and never count against *max_events*; pooled events
+        # go back on the engine's free list after firing.
+        budget_hit = self._sched.drain(self, until, max_events)
         if until is not None and self._now < until:
             if budget_hit:
                 nxt = self.peek_time()

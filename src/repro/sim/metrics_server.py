@@ -1,0 +1,161 @@
+"""Live metrics endpoint — poll a running simulation over HTTP.
+
+A :class:`MetricsServer` wraps a running engine, its counter registry,
+and (optionally) the trace bus, and serves JSON snapshots from a daemon
+thread on stdlib :mod:`http.server` — no third-party dependencies, no
+effect on simulation results (reads are snapshot-based and the sim
+thread never blocks on the server).
+
+Endpoints:
+
+``/metrics``
+    Full snapshot: simulated clock, events processed, pending events,
+    every counter, and the newest trace events (bounded tail).
+``/counters``
+    Counters only (cheap to poll in a tight loop).
+``/healthz``
+    Liveness probe: ``{"ok": true}``.
+
+Attach to a run with ``run_simulation(..., metrics_port=8123)``, the
+``repro-sim serve-metrics`` subcommand, or directly::
+
+    server = MetricsServer(engine, fabric.registry, tracer)
+    url = server.start()     # http://127.0.0.1:<port>
+    ...
+    server.stop()
+
+``port=0`` (the default) binds an ephemeral port — read it back from
+``server.port`` after :meth:`~MetricsServer.start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.sim.counters import CounterRegistry
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+
+#: Newest trace events included in a ``/metrics`` response.
+TRACE_TAIL = 50
+
+
+class MetricsServer:
+    """Serve engine/counter/trace snapshots over HTTP from a daemon thread."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        registry: CounterRegistry,
+        tracer: Tracer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        trace_tail: int = TRACE_TAIL,
+    ) -> None:
+        self._engine = engine
+        self._registry = registry
+        self._tracer = tracer
+        self._host = host
+        self._port = port
+        self._trace_tail = trace_tail
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- snapshot payloads ---------------------------------------------------
+
+    def counters_payload(self) -> dict:
+        return {"counters": self._registry.snapshot()}
+
+    def metrics_payload(self) -> dict:
+        engine = self._engine
+        payload = {
+            "now_ps": engine.now,
+            "now_us": engine.now_us,
+            "events_processed": engine.events_processed,
+            "pending_events": engine.pending_count,
+            "scheduler": engine.scheduler_mode,
+            "counters": self._registry.snapshot(),
+        }
+        if self._tracer is not None:
+            # events is a deque under max_events — snapshot before slicing
+            tail = list(self._tracer.events)[-self._trace_tail:]
+            payload["trace_tail"] = [
+                {
+                    "time_ps": e.time_ps,
+                    "kind": e.kind,
+                    "where": e.where,
+                    "packet_id": e.packet_id,
+                    "detail": e.detail,
+                }
+                for e in tail
+            ]
+        return payload
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolves an ephemeral ``port=0`` after ``start``)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> str:
+        """Bind, start serving from a daemon thread, return the base URL."""
+        if self._httpd is not None:
+            return self.url
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path == "/metrics":
+                    body = server.metrics_payload()
+                elif self.path == "/counters":
+                    body = server.counters_payload()
+                elif self.path == "/healthz":
+                    body = {"ok": True}
+                else:
+                    self.send_error(404, "unknown endpoint")
+                    return
+                data = json.dumps(body).encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *args) -> None:  # silence per-request noise
+                pass
+
+        self._httpd = ThreadingHTTPServer((self._host, self._port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

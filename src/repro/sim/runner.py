@@ -18,9 +18,11 @@ from repro.iba.keys import PKey, QKey
 from repro.iba.packet import LOCAL_UD_OVERHEAD
 from repro.iba.qp import QueuePair
 from repro.iba.subnet_manager import SubnetManager
-from repro.iba.topology import Fabric, build_mesh, path_length
+from repro.iba.topology import Fabric, build_fabric, path_length
 from repro.iba.types import QPN, ServiceType
+from repro.observability import observability_enabled
 from repro.sim.config import AuthMode, EnforcementMode, KeyMgmtMode, SimConfig
+from repro.sim.counters import CounterRegistry
 from repro.sim.engine import Engine, PS_PER_US
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.rng import RngStreams
@@ -166,7 +168,14 @@ def build_experiment(config: SimConfig, tracer: Tracer | None = None):
     config.validate()
     engine = Engine()
     metrics = MetricsCollector(keep_samples=config.keep_samples)
-    fabric = build_mesh(engine, config, metrics, tracer=tracer)
+    # Zero-cost observability (repro.observability): "off" builds the whole
+    # fabric against a null counter registry and without a tracer, so the
+    # hot path's bookkeeping reduces to no-op calls.
+    obs_on = observability_enabled()
+    if not obs_on:
+        tracer = None
+    registry = CounterRegistry(enabled=obs_on)
+    fabric = build_fabric(engine, config, metrics, registry=registry, tracer=tracer)
     streams = RngStreams(config.seed)
 
     sm = SubnetManager(
@@ -326,6 +335,7 @@ def run_simulation(
     config: SimConfig,
     tracer: Tracer | None = None,
     setup=None,
+    metrics_port: int | None = None,
 ) -> SimReport:
     """Run one experiment end to end and return its report.
 
@@ -335,6 +345,9 @@ def run_simulation(
     is built but before the clock starts — the hook fault-injection and
     fuzzing harnesses use to install link faults, switch crashes, wire
     tamperers, and raw packet injections into an otherwise stock run.
+    *metrics_port* (optional) serves live counter/trace snapshots over
+    HTTP for the duration of the run (0 = ephemeral port; see
+    :mod:`repro.sim.metrics_server`).
     """
     t0 = time.perf_counter()
     engine, fabric, sources, flooders, windows, key_manager = build_experiment(
@@ -342,7 +355,17 @@ def run_simulation(
     )
     if setup is not None:
         setup(engine, fabric)
-    engine.run(until=config.sim_time_ps)
+    server = None
+    if metrics_port is not None:
+        from repro.sim.metrics_server import MetricsServer
+
+        server = MetricsServer(engine, fabric.registry, tracer, port=metrics_port)
+        server.start()
+    try:
+        engine.run(until=config.sim_time_ps)
+    finally:
+        if server is not None:
+            server.stop()
     wall = time.perf_counter() - t0
 
     metrics = fabric.metrics

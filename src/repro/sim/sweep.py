@@ -58,6 +58,7 @@ from typing import Any, Callable, Protocol
 
 from repro.datapath import get_datapath
 from repro.sim.config import SimConfig
+from repro.sim.scheduler import get_scheduler
 from repro.sim.runner import SimReport, run_simulation
 
 #: bump when SimReport/SimConfig change shape enough to invalidate old
@@ -66,8 +67,10 @@ from repro.sim.runner import SimReport, run_simulation
 #: counter-registry snapshot (``SimReport.counters``), making pre-v2 cached
 #: pickles incomplete; v3 folded the active datapath mode into the hashed
 #: payload (a ``REPRO_DATAPATH=reference`` debug sweep must never be served
-#: fast-mode entries, even though the two modes are meant to be identical).
-CACHE_VERSION = 3
+#: fast-mode entries, even though the two modes are meant to be identical);
+#: v4 folded in the scheduler mode the same way (a ``REPRO_SCHEDULER=heap``
+#: oracle sweep must re-execute rather than read wheel-mode entries).
+CACHE_VERSION = 4
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
@@ -98,16 +101,18 @@ def config_key(config: SimConfig) -> str:
     """Stable content hash of a fully-resolved :class:`SimConfig`.
 
     Two configs hash equal iff every field (including the seed) is equal
-    *and* the runs would execute under the same datapath mode; the JSON
-    canonicalisation makes the key independent of field order, enum
-    identity, and tuple-vs-list spelling.  The datapath mode is part of the
-    payload because a report cached under ``fast`` must not satisfy a
-    ``reference``-mode debugging sweep (the modes are bit-identical by
-    design, but proving that is exactly what a reference sweep is for).
+    *and* the runs would execute under the same datapath and scheduler
+    modes; the JSON canonicalisation makes the key independent of field
+    order, enum identity, and tuple-vs-list spelling.  The mode axes are
+    part of the payload because a report cached under ``fast``/``wheel``
+    must not satisfy a ``reference``- or ``heap``-mode debugging sweep
+    (the modes are bit-identical by design, but proving that is exactly
+    what an oracle-mode sweep is for).
     """
     payload = {
         "cache_version": CACHE_VERSION,
         "datapath": get_datapath(),
+        "scheduler": get_scheduler(),
         "config": _canonical(asdict(config)),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -42,6 +42,23 @@ from repro.sim.engine import PS_PER_US
 NO_PACKET = -1
 
 
+def null_trace(
+    time_ps: int,
+    kind: str,
+    where: str,
+    packet_id: int = NO_PACKET,
+    detail: str = "",
+) -> None:
+    """Signature-compatible no-op for :meth:`Tracer.record`.
+
+    Hot-path components bind ``self._trace`` once at construction — to
+    ``tracer.record`` when tracing is on, to this function when it is off —
+    so the untraced fast path pays one no-op call instead of a branch per
+    emission site (the zero-cost-observability contract; see
+    :mod:`repro.observability` and ``tools/check_observability.py``).
+    """
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     time_ps: int

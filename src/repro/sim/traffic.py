@@ -182,7 +182,7 @@ class BestEffortSource:
         self._prefixes = {p: payload_prefix(hca.lid, p.lid) for p in peers}
 
     def start(self) -> None:
-        self.engine.schedule(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
+        self.engine.schedule_pooled(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
 
     def _arrival(self) -> None:
         if self.engine.now >= self.stop_at_ps:
@@ -195,7 +195,7 @@ class BestEffortSource:
         )
         self.hca.submit(pkt)
         self.generated += 1
-        self.engine.schedule(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
+        self.engine.schedule_pooled(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
 
 
 class RealtimeSource:
@@ -237,7 +237,7 @@ class RealtimeSource:
     def start(self) -> None:
         # Random phase so the fabric's realtime streams are not in lockstep.
         phase = self.rng.randrange(self.interval_ps)
-        self.engine.schedule(phase, self._tick)
+        self.engine.schedule_pooled(phase, self._tick)
 
     def _tick(self) -> None:
         if self.engine.now >= self.stop_at_ps:
@@ -255,4 +255,4 @@ class RealtimeSource:
             )
             self.hca.submit(pkt)
             self.generated += 1
-        self.engine.schedule(self.interval_ps, self._tick)
+        self.engine.schedule_pooled(self.interval_ps, self._tick)

@@ -1,5 +1,7 @@
 """tier2_fuzz smoke: 10 generated scenarios through every invariant
-oracle under both datapaths (the differential-identity acceptance check).
+oracle and every differential axis — datapath fast vs reference,
+scheduler wheel vs heap, observability on vs off (the
+differential-identity acceptance check).
 
 Select with ``pytest -m tier2_fuzz``; also runs in the tier-1 suite."""
 
@@ -20,6 +22,9 @@ def test_ten_scenarios_clean_and_differentially_identical():
             f"{scenario.summary()}\n"
             + "\n".join(str(v) for v in result.violations)
         )
+        # all four legs actually executed (datapath x scheduler x obs)
+        assert result.heap is not None and result.obs_off is not None
+        assert result.heap.report.events_processed == result.fast.report.events_processed
         tampered += len(result.reference.tampered_ids)
         injected += len(result.reference.injected_ids)
     # the batch genuinely exercised the attack surface

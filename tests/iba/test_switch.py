@@ -159,3 +159,76 @@ class TestPumpProgress:
         engine.run()
         assert len(s1.received) == 1
         assert len(s2.received) == 1
+
+
+class TestReadyHeadIndex:
+    """The scale-core arbitration index: _head_ready[port][vl] must always
+    equal a from-scratch recount of the input FIFO heads, in both modes
+    (the counts are maintained unconditionally; only consultation is
+    wheel-gated)."""
+
+    @staticmethod
+    def assert_index_consistent(sw):
+        maintained = ([row[:] for row in sw._head_ready],
+                      sw._head_ready_total[:])
+        sw._rebuild_head_ready()
+        assert maintained == (sw._head_ready, sw._head_ready_total), sw.name
+
+    @pytest.mark.parametrize("mode", ["wheel", "heap"])
+    def test_index_matches_recount_through_congested_run(self, mode):
+        """All-pairs burst through a 3x3 mesh with tiny buffers: pause the
+        run repeatedly and require the maintained counts to equal a fresh
+        recount on every switch — mid-congestion, not just at quiescence."""
+        from repro.iba.topology import build_mesh
+        from repro.sim.config import SimConfig
+        from repro.sim.metrics import MetricsCollector
+
+        engine = Engine(scheduler=mode)
+        cfg = SimConfig(mesh_width=3, mesh_height=3, num_partitions=1,
+                        vl_buffer_packets=2,
+                        enable_realtime=False, enable_best_effort=False)
+        f = build_mesh(engine, cfg, MetricsCollector())
+        for src in f.lids:
+            for dst in f.lids:
+                if src != dst:
+                    f.hca(src).submit(make_packet(src=src, dst=dst,
+                                                  wire_length=400))
+        horizon = 0
+        for _ in range(25):
+            horizon += 2_000_000  # 2 us slices
+            engine.run(until=horizon)
+            for sw in f.all_switches():
+                self.assert_index_consistent(sw)
+        engine.run()
+        for sw in f.all_switches():
+            self.assert_index_consistent(sw)
+            assert sw._head_ready_total == [0] * sw.num_ports
+
+    @pytest.mark.parametrize("mode", ["wheel", "heap"])
+    def test_reroute_rebuilds_index(self, mode):
+        """reroute_buffered edits ready FIFOs in place; the index must be
+        recounted against the new route table."""
+        from repro.iba.topology import build_mesh, recompute_routes
+        from repro.sim.config import SimConfig
+        from repro.sim.metrics import MetricsCollector
+
+        engine = Engine(scheduler=mode)
+        cfg = SimConfig(mesh_width=3, mesh_height=3, num_partitions=1,
+                        vl_buffer_packets=2,
+                        enable_realtime=False, enable_best_effort=False)
+        f = build_mesh(engine, cfg, MetricsCollector())
+        for src in f.lids:
+            for dst in f.lids:
+                if src != dst:
+                    f.hca(src).submit(make_packet(src=src, dst=dst,
+                                                  wire_length=400))
+        engine.run(until=10_000_000)  # mid-flight, buffers occupied
+        victim = f.switches[(1, 1)]
+        for link in victim.out_links:
+            if link is not None:
+                link.failed = True
+        recompute_routes(f, avoid={(1, 1)})
+        for sw in f.all_switches():
+            if sw is not victim:
+                sw.reroute_buffered()
+                self.assert_index_consistent(sw)

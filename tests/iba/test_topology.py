@@ -1,9 +1,21 @@
-"""Mesh construction: port counts, link wiring, XY routing, delivery."""
+"""Mesh and fat-tree construction: port counts, link wiring, routing,
+delivery."""
 
 import pytest
 
 from repro.iba.switch import HCA_PORT
-from repro.iba.topology import build_line, build_mesh, node_lid, path_length
+from repro.iba.topology import (
+    FT_AGG,
+    FT_CORE,
+    FT_EDGE,
+    build_fabric,
+    build_fat_tree,
+    build_line,
+    build_mesh,
+    fat_tree_lid,
+    node_lid,
+    path_length,
+)
 from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
 from repro.sim.metrics import MetricsCollector
@@ -109,6 +121,171 @@ class TestRouting:
         assert path_length(f, 1, 1) == 1  # same switch
         assert path_length(f, 1, 2) == 2
         assert path_length(f, 1, 16) == 7  # 3+3 switch-to-switch + 1
+
+
+def fat_tree_of(k, **kwargs):
+    cfg = SimConfig(
+        topology="fat_tree", fat_tree_k=k,
+        num_partitions=1, enable_realtime=False, enable_best_effort=False,
+        **kwargs,
+    )
+    return build_fat_tree(Engine(), cfg, MetricsCollector())
+
+
+def walk_route(fabric, src, dst):
+    """Follow the route tables from src's edge switch until the packet
+    would exit onto dst's HCA; return the switches visited."""
+    from repro.iba.hca import HCA
+
+    sw = fabric.ingress_switch(src)
+    visited = [sw]
+    for _ in range(6):
+        port = sw.route_table[dst]
+        link = sw.out_links[port]
+        assert link is not None, f"{sw.name} routes {dst} to unwired port {port}"
+        nxt = link.dst
+        if isinstance(nxt, HCA):
+            assert int(nxt.lid) == dst
+            return visited
+        sw = nxt
+        visited.append(sw)
+    raise AssertionError(f"routing loop {src}->{dst}: {[s.name for s in visited]}")
+
+
+class TestFatTreeConstruction:
+    def test_k4_shape(self):
+        f = fat_tree_of(4)
+        assert len(f.hcas) == 16                       # k^3/4
+        assert len(f.switches) == 20                   # 8 edge + 8 agg + 4 core
+        assert f.lids == list(range(1, 17))
+        layers = [coord[0] for coord in f.switches]
+        assert layers.count(FT_EDGE) == 8
+        assert layers.count(FT_AGG) == 8
+        assert layers.count(FT_CORE) == 4
+
+    def test_k8_scales_cubically(self):
+        f = fat_tree_of(8)
+        assert len(f.hcas) == 128
+        assert len(f.switches) == 8 * 4 + 8 * 4 + 16
+
+    def test_every_switch_has_k_ports(self):
+        f = fat_tree_of(4)
+        for sw in f.all_switches():
+            assert sw.num_ports == 4
+
+    def test_every_port_fully_wired(self):
+        """A fat tree has no spare ports: k/2 down + k/2 up everywhere."""
+        f = fat_tree_of(4)
+        for sw in f.all_switches():
+            assert all(l is not None for l in sw.out_links), sw.name
+            assert all(l is not None for l in sw.in_links), sw.name
+
+    def test_lid_layout(self):
+        assert int(fat_tree_lid(0, 0, 0, 4)) == 1
+        assert int(fat_tree_lid(0, 0, 1, 4)) == 2
+        assert int(fat_tree_lid(0, 1, 0, 4)) == 3
+        assert int(fat_tree_lid(1, 0, 0, 4)) == 5
+        assert int(fat_tree_lid(3, 1, 1, 4)) == 16
+
+    def test_lids_unique_and_ingress_consistent(self):
+        f = fat_tree_of(4)
+        assert len(set(f.lids)) == len(f.lids)
+        for lid in f.lids:
+            layer, idx = f.ingress_of[lid]
+            assert layer == FT_EDGE
+            port = f.ingress_port_of[lid]
+            assert int(f.switches[(layer, idx)].out_links[port].dst.lid) == lid
+
+    def test_build_fabric_dispatches_on_topology(self):
+        cfg = SimConfig(topology="fat_tree", fat_tree_k=4, num_partitions=1,
+                        enable_realtime=False, enable_best_effort=False)
+        f = build_fabric(Engine(), cfg, MetricsCollector())
+        assert (FT_CORE, 0) in f.switches
+        mesh_cfg = SimConfig(mesh_width=2, mesh_height=2, num_partitions=1,
+                             enable_realtime=False, enable_best_effort=False)
+        m = build_fabric(Engine(), mesh_cfg, MetricsCollector())
+        assert (0, 0) in m.switches and (FT_CORE, 0) not in m.switches
+
+    def test_wrong_topology_rejected(self):
+        cfg = SimConfig(mesh_width=2, mesh_height=2, num_partitions=1,
+                        enable_realtime=False, enable_best_effort=False)
+        with pytest.raises(ValueError, match="fat_tree"):
+            build_fat_tree(Engine(), cfg, MetricsCollector())
+
+
+class TestFatTreeRouting:
+    def test_full_reachability_and_hop_counts(self):
+        """Route-table walk for every pair reaches the destination HCA in
+        exactly path_length() switches (1 same-edge, 3 same-pod, 5 inter-pod)."""
+        f = fat_tree_of(4)
+        for src in f.lids:
+            for dst in f.lids:
+                if src == dst:
+                    continue
+                visited = walk_route(f, src, dst)
+                assert len(visited) == path_length(f, src, dst), (src, dst)
+
+    def test_path_length_tiers(self):
+        f = fat_tree_of(4)
+        assert path_length(f, 1, 1) == 1   # same node
+        assert path_length(f, 1, 2) == 1   # same edge switch
+        assert path_length(f, 1, 3) == 3   # same pod, different edge
+        assert path_length(f, 1, 16) == 5  # different pod (via core)
+
+    def test_route_to_local_host_is_host_port(self):
+        f = fat_tree_of(4)
+        edge = f.switches[(FT_EDGE, 0)]
+        assert edge.route_table[1] == 0
+        assert edge.route_table[2] == 1
+
+    def test_inter_pod_route_transits_core(self):
+        f = fat_tree_of(4)
+        visited = walk_route(f, 1, 16)
+        layers = [next(c for c, s in f.switches.items() if s is sw)[0]
+                  for sw in visited]
+        assert layers == [FT_EDGE, FT_AGG, FT_CORE, FT_AGG, FT_EDGE]
+
+
+class TestFatTreeDelivery:
+    def test_inter_pod_packet_delivers(self):
+        engine = Engine()
+        cfg = SimConfig(topology="fat_tree", fat_tree_k=4, num_partitions=1,
+                        enable_realtime=False, enable_best_effort=False)
+        f = build_fat_tree(engine, cfg, MetricsCollector())
+        from repro.iba.keys import PKey, QKey
+        from repro.iba.qp import QueuePair
+        from repro.iba.types import QPN, ServiceType
+
+        dst = f.hca(16)
+        dst.keys.grant_pkey(PKey(0x8001))
+        dst.add_qp(QueuePair(qpn=QPN(0x102), service=ServiceType.UNRELIABLE_DATAGRAM,
+                             pkey=PKey(0x8001), qkey=QKey(0x1234)))
+        f.hca(1).submit(make_packet(src=1, dst=16, wire_length=1058))
+        engine.run()
+        assert dst.delivered == 1
+
+    def test_every_pair_delivers(self):
+        engine = Engine()
+        cfg = SimConfig(topology="fat_tree", fat_tree_k=4, num_partitions=1,
+                        enable_realtime=False, enable_best_effort=False)
+        f = build_fat_tree(engine, cfg, MetricsCollector())
+        from repro.iba.keys import PKey, QKey
+        from repro.iba.qp import QueuePair
+        from repro.iba.types import QPN, ServiceType
+
+        for lid in f.lids:
+            h = f.hca(lid)
+            h.keys.grant_pkey(PKey(0x8001))
+            h.add_qp(QueuePair(qpn=QPN(0x102), service=ServiceType.UNRELIABLE_DATAGRAM,
+                               pkey=PKey(0x8001), qkey=QKey(0x1234)))
+        sent = 0
+        for src in f.lids:
+            for dst in f.lids:
+                if src != dst:
+                    f.hca(src).submit(make_packet(src=src, dst=dst, wire_length=200))
+                    sent += 1
+        engine.run()
+        assert sum(h.delivered for h in f.hcas.values()) == sent
 
 
 class TestEndToEndDelivery:

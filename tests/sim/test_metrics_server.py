@@ -1,0 +1,125 @@
+"""The live metrics endpoint: poll a running engine over HTTP.
+
+Uses ephemeral ports (``port=0``) so tests never collide, and polls with
+stdlib urllib — the server itself must not need anything beyond the
+standard library.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.sim.counters import CounterRegistry
+from repro.sim.engine import Engine
+from repro.sim.metrics_server import MetricsServer
+from repro.sim.trace import Tracer
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        assert resp.headers["Content-Type"] == "application/json"
+        return json.loads(resp.read())
+
+
+@pytest.fixture
+def sim():
+    engine = Engine()
+    registry = CounterRegistry()
+    ticks = registry.counter("test.ticks")
+
+    def tick():
+        ticks.inc()
+        engine.schedule(1000, tick)
+
+    engine.schedule(1000, tick)
+    return engine, registry
+
+
+class TestEndpoints:
+    def test_metrics_snapshot_tracks_run_progress(self, sim):
+        """Poll /metrics between run chunks: the snapshot must advance
+        with the simulated clock and expose live counter values."""
+        engine, registry = sim
+        tracer = Tracer(max_events=100)
+        tracer.record(0, "boot", "test", 0, "")
+        with MetricsServer(engine, registry, tracer) as server:
+            seen = []
+            for horizon in (10_000, 20_000, 30_000):
+                engine.run(until=horizon)
+                snap = get_json(server.url + "/metrics")
+                seen.append(snap)
+            assert [s["now_ps"] for s in seen] == [10_000, 20_000, 30_000]
+            assert seen[-1]["now_us"] == pytest.approx(0.03)
+            assert seen[0]["events_processed"] < seen[-1]["events_processed"]
+            assert seen[-1]["counters"]["test.ticks"] == 30
+            assert seen[-1]["pending_events"] >= 1
+            assert seen[-1]["scheduler"] == engine.scheduler_mode
+            assert seen[-1]["trace_tail"][0]["kind"] == "boot"
+
+    def test_counters_endpoint_is_counters_only(self, sim):
+        engine, registry = sim
+        engine.run(until=5_000)
+        with MetricsServer(engine, registry) as server:
+            snap = get_json(server.url + "/counters")
+            assert snap == {"counters": {"test.ticks": 5}}
+
+    def test_metrics_without_tracer_omits_trace_tail(self, sim):
+        engine, registry = sim
+        with MetricsServer(engine, registry) as server:
+            assert "trace_tail" not in get_json(server.url + "/metrics")
+
+    def test_trace_tail_is_bounded(self, sim):
+        engine, registry = sim
+        tracer = Tracer(max_events=1000)
+        for i in range(20):
+            tracer.record(i, "ev", "test", i, "")
+        with MetricsServer(engine, registry, tracer, trace_tail=5) as server:
+            tail = get_json(server.url + "/metrics")["trace_tail"]
+            assert len(tail) == 5
+            assert [e["packet_id"] for e in tail] == [15, 16, 17, 18, 19]
+
+    def test_healthz(self, sim):
+        engine, registry = sim
+        with MetricsServer(engine, registry) as server:
+            assert get_json(server.url + "/healthz") == {"ok": True}
+
+    def test_unknown_path_is_404(self, sim):
+        engine, registry = sim
+        with MetricsServer(engine, registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                get_json(server.url + "/nope")
+            assert exc.value.code == 404
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolves_after_start(self, sim):
+        engine, registry = sim
+        server = MetricsServer(engine, registry)
+        url = server.start()
+        try:
+            assert server.port != 0
+            assert url == f"http://127.0.0.1:{server.port}"
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_releases_port(self, sim):
+        engine, registry = sim
+        server = MetricsServer(engine, registry)
+        server.start()
+        port = server.port
+        server.stop()
+        server.stop()  # second stop is a no-op
+        # port released: a new server can bind the same one immediately
+        rebound = MetricsServer(engine, registry, port=port)
+        try:
+            rebound.start()
+            assert get_json(rebound.url + "/healthz") == {"ok": True}
+        finally:
+            rebound.stop()
+
+    def test_start_twice_returns_same_url(self, sim):
+        engine, registry = sim
+        with MetricsServer(engine, registry) as server:
+            assert server.start() == server.url

@@ -123,6 +123,30 @@ class TestRunCache:
             set_datapath(prev)
         assert fast_key != reference_key
 
+    def test_cache_key_tracks_scheduler_mode(self, base):
+        """Regression: a REPRO_SCHEDULER=heap oracle sweep must never be
+        served wheel-mode cache entries (CACHE_VERSION 4)."""
+        from repro.sim.scheduler import get_scheduler, set_scheduler
+
+        prev = get_scheduler()
+        try:
+            set_scheduler("wheel")
+            wheel_key = config_key(base)
+            set_scheduler("heap")
+            heap_key = config_key(base)
+        finally:
+            set_scheduler(prev)
+        assert wheel_key != heap_key
+
+    def test_cache_version_bump_invalidates(self, base, monkeypatch):
+        """Regression: the v3->v4 bump must change every key, so stale v3
+        pickles (which never encoded the scheduler axis) can never hit."""
+        from repro.sim import sweep as sweep_mod
+
+        current = config_key(base)
+        monkeypatch.setattr(sweep_mod, "CACHE_VERSION", 3)
+        assert config_key(base) != current
+
     def test_config_change_invalidates(self, base, tmp_path):
         Sweep(base, GRID, seeds=(1,)).run(cache=tmp_path)
         changed = Sweep(

@@ -1,0 +1,111 @@
+"""tier2_bench: the engine-core scale benchmark harness in smoke mode.
+
+One tiny fabric row plus one small churn row, each leg in its own
+subprocess — enough to prove the worker protocol, the identical-result
+checks (counter digest / LCG state), and the ``repro.bench_engine/1``
+schema.  Speedups at smoke scale are meaningless; the committed artifact
+comes from ``repro-sim bench-engine`` (see BENCH_engine.json).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.bench_engine import (
+    BENCH_SCHEMA,
+    CHURN_SPEEDUP_TARGET,
+    EVENTS_IN_FLIGHT_PER_HCA,
+    format_bench_engine,
+    run_bench_engine,
+    validate_bench_engine_doc,
+    write_bench_engine_json,
+)
+
+pytestmark = pytest.mark.tier2_bench
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return run_bench_engine(smoke=True)
+
+
+class TestSmokeRun:
+    def test_document_satisfies_schema(self, smoke_doc):
+        assert validate_bench_engine_doc(smoke_doc) == []
+        assert smoke_doc["schema"] == BENCH_SCHEMA
+        assert smoke_doc["smoke"] is True
+
+    def test_fabric_legs_bit_identical(self, smoke_doc):
+        (row,) = smoke_doc["fabric"]
+        assert row["identical"] is True
+        assert row["events"] > 0
+        assert row["pending_peak"] > 0
+
+    def test_churn_legs_fired_same_sequence(self, smoke_doc):
+        (row,) = smoke_doc["churn"]
+        assert row["identical"] is True
+        assert row["fired"] == 5_000
+        assert row["pending"] == 16 * EVENTS_IN_FLIGHT_PER_HCA
+
+    def test_headline_mirrors_top_rows(self, smoke_doc):
+        head = smoke_doc["headline"]
+        assert head["num_hcas"] == smoke_doc["churn"][-1]["num_hcas"]
+        assert head["churn_speedup"] == smoke_doc["churn"][-1]["speedup"]
+        assert head["fabric_speedup"] == smoke_doc["fabric"][-1]["speedup"]
+
+    def test_smoke_never_claims_target_met(self, smoke_doc):
+        assert smoke_doc["targets"]["met"] is False
+        assert smoke_doc["targets"]["churn_speedup_min"] == CHURN_SPEEDUP_TARGET
+
+    def test_json_round_trip(self, smoke_doc, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench_engine_json(smoke_doc, str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_bench_engine_doc(loaded) == []
+
+    def test_format_mentions_both_stages_and_rows(self, smoke_doc):
+        text = format_bench_engine(smoke_doc)
+        assert "fat-tree DoS end-to-end" in text
+        assert "event churn" in text
+        assert "n/a (smoke)" in text
+        assert f"{smoke_doc['churn'][0]['pending']:,}" in text
+
+
+class TestValidator:
+    def test_empty_document_rejected(self):
+        assert validate_bench_engine_doc({}) != []
+
+    def test_missing_row_keys_reported(self, smoke_doc):
+        doc = json.loads(json.dumps(smoke_doc))  # deep copy
+        del doc["churn"][0]["speedup"]
+        problems = validate_bench_engine_doc(doc)
+        assert any("churn row missing keys" in p for p in problems)
+
+    def test_missing_leg_keys_reported(self, smoke_doc):
+        doc = json.loads(json.dumps(smoke_doc))
+        del doc["fabric"][0]["wheel"]["events_per_s"]
+        problems = validate_bench_engine_doc(doc)
+        assert any("wheel leg missing keys" in p for p in problems)
+
+    def test_divergent_legs_reported(self, smoke_doc):
+        doc = json.loads(json.dumps(smoke_doc))
+        doc["fabric"][0]["identical"] = False
+        problems = validate_bench_engine_doc(doc)
+        assert any("diverged" in p for p in problems)
+
+    def test_full_run_must_meet_target(self, smoke_doc):
+        doc = json.loads(json.dumps(smoke_doc))
+        doc["smoke"] = False
+        doc["targets"]["met"] = False
+        problems = validate_bench_engine_doc(doc)
+        assert any("not met" in p for p in problems)
+
+
+class TestCli:
+    def test_bench_engine_subcommand_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "bench.json"
+        assert main(["bench-engine", "--smoke", "--output", str(out_path)]) == 0
+        assert validate_bench_engine_doc(json.loads(out_path.read_text())) == []
+        assert "event churn" in capsys.readouterr().out

@@ -1,4 +1,4 @@
-"""The one-shot lint runner: the repo passes both AST lints in one go."""
+"""The one-shot lint runner: the repo passes every AST lint in one go."""
 
 import subprocess
 import sys
@@ -15,3 +15,4 @@ def test_lint_all_passes_on_the_repo():
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "check_bare_counters: ok" in proc.stdout
     assert "check_hot_path: ok" in proc.stdout
+    assert "check_observability: ok" in proc.stdout
