@@ -151,6 +151,44 @@ def grouped_bars(
     return "\n".join(lines)
 
 
+def memory_footprint_chart(
+    rows: list[tuple[str, int, float, float]],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """The four-way bake-off layout: latency bars ordered by the per-port
+    memory each filtering design holds.
+
+    *rows* are ``(label, memory_bytes, latency_us, access_ns)`` tuples; they
+    are sorted by memory footprint (the x-axis of the comparison), the bar
+    renders latency, and each line is annotated with the state size and the
+    SRAM access time that capacity implies.  Reading top to bottom answers
+    the Table-2 question directly: what does each extra byte of filter
+    state buy in delivered latency?
+    """
+    if not rows:
+        return title or ""
+    rows = sorted(rows, key=lambda r: (r[1], r[0]))
+    peak = max(latency for _, _, latency, _ in rows) or 1.0
+    label_w = max(len(label) for label, *_ in rows)
+    mem_w = max(len(_mem_label(m)) for _, m, _, _ in rows)
+    lines = [title] if title else []
+    for label, memory, latency, access_ns in rows:
+        filled = round(width * latency / peak)
+        lines.append(
+            f"{label:<{label_w}} {_mem_label(memory):>{mem_w}} "
+            f"({access_ns:.2f} ns) |{'#' * filled}{' ' * (width - filled)}| "
+            f"{latency:.2f} us"
+        )
+    return "\n".join(lines)
+
+
+def _mem_label(memory_bytes: int) -> str:
+    if memory_bytes >= 1024:
+        return f"{memory_bytes / 1024:.1f}KiB"
+    return f"{memory_bytes}B"
+
+
 def sweep_progress_chart(
     events: list,
     width: int = 30,

@@ -8,6 +8,7 @@ Usage (installed as ``repro-sim`` or via ``python -m repro.cli``)::
     repro-sim fig1 --panel best_effort
     repro-sim fig5
     repro-sim fig6
+    repro-sim bakeoff4 --fp-sweep
     repro-sim table2
     repro-sim table3
     repro-sim table4
@@ -31,7 +32,7 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--load", type=float, default=0.4, help="best-effort injection (fraction of link bw)")
     p.add_argument("--realtime-load", type=float, default=0.1)
     p.add_argument(
-        "--enforcement", choices=["none", "dpt", "if", "sif"], default="none"
+        "--enforcement", choices=["none", "dpt", "if", "sif", "bloom"], default="none"
     )
     p.add_argument(
         "--auth", choices=["icrc", "umac", "hmac_md5", "hmac_sha1", "pmac", "stream"],
@@ -57,7 +58,7 @@ def _add_trace(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--attackers", type=int, default=1)
     p.add_argument("--load", type=float, default=0.3, help="best-effort injection (fraction of link bw)")
     p.add_argument(
-        "--enforcement", choices=["none", "dpt", "if", "sif"], default="sif"
+        "--enforcement", choices=["none", "dpt", "if", "sif", "bloom"], default="sif"
     )
     p.add_argument(
         "--duty-cycle", type=float, default=0.12,
@@ -170,7 +171,7 @@ def _add_serve_metrics(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--attackers", type=int, default=1)
     p.add_argument("--load", type=float, default=0.4, help="best-effort injection (fraction of link bw)")
     p.add_argument(
-        "--enforcement", choices=["none", "dpt", "if", "sif"], default="sif"
+        "--enforcement", choices=["none", "dpt", "if", "sif", "bloom"], default="sif"
     )
     p.add_argument(
         "--linger-s", type=float, default=0.0,
@@ -225,6 +226,30 @@ def build_parser() -> argparse.ArgumentParser:
     fig6 = sub.add_parser("fig6", help="Figure 6: auth overhead rows")
     fig6.add_argument("--sim-time-us", type=float, default=2500.0)
     _add_sweep_flags(fig6)
+    bakeoff = sub.add_parser(
+        "bakeoff4",
+        help="four-way DPT/IF/SIF/Bloom bake-off by memory footprint",
+        description=(
+            "Re-runs the Figure-5 DoS scenario with the Bloom design in the "
+            "line-up and reports each mode's per-port filtering state size "
+            "(with its implied SRAM access time) next to the latency it "
+            "buys; optionally also sweeps the Bloom array size along a "
+            "target false-positive-rate axis."
+        ),
+    )
+    bakeoff.add_argument("--sim-time-us", type=float, default=6000.0)
+    bakeoff.add_argument("--bloom-bits", type=int, default=1024)
+    bakeoff.add_argument("--bloom-hashes", type=int, default=4)
+    bakeoff.add_argument(
+        "--attack-window-us", type=float, default=100.0,
+        help="attack burst width; period is window/duty, so shrink this "
+        "for short horizons",
+    )
+    bakeoff.add_argument(
+        "--fp-sweep", action="store_true",
+        help="also sweep bloom_bits along the target fp-rate axis",
+    )
+    _add_sweep_flags(bakeoff)
     sub.add_parser("table2", help="Table 2: enforcement overhead model")
     sub.add_parser("table3", help="Table 3: executable threat matrix")
     table4 = sub.add_parser("table4", help="Table 4: MAC time & forgery complexity")
@@ -357,6 +382,36 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     events: list = []
     points = run_fig6(sim_time_us=args.sim_time_us, **_sweep_kwargs(args, events))
     print(format_fig6(points))
+    _print_sweep_profile(args, events)
+    return 0
+
+
+def _cmd_bakeoff4(args: argparse.Namespace) -> int:
+    from repro.experiments.bakeoff4 import (
+        format_bakeoff4,
+        format_bloom_fp_sweep,
+        run_bakeoff4,
+        run_bloom_fp_sweep,
+    )
+
+    events: list = []
+    rows = run_bakeoff4(
+        sim_time_us=args.sim_time_us,
+        bloom_bits=args.bloom_bits,
+        bloom_hashes=args.bloom_hashes,
+        attack_window_us=args.attack_window_us,
+        **_sweep_kwargs(args, events),
+    )
+    print(format_bakeoff4(rows))
+    if args.fp_sweep:
+        fp_rows = run_bloom_fp_sweep(
+            sim_time_us=args.sim_time_us,
+            bloom_hashes=args.bloom_hashes,
+            attack_window_us=args.attack_window_us,
+            **_sweep_kwargs(args, events),
+        )
+        print()
+        print(format_bloom_fp_sweep(fp_rows))
     _print_sweep_profile(args, events)
     return 0
 
@@ -505,6 +560,7 @@ _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,
+    "bakeoff4": _cmd_bakeoff4,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "table4": _cmd_table4,

@@ -103,8 +103,36 @@ class EnforcementOverheadModel:
             * f(min(self.avg_invalid_entries, self.p)),
         )
 
-    def rows(self, f: Callable[[float], float] = f_linear) -> list[OverheadRow]:
-        return [self.dpt(f), self.ingress_filtering(f), self.sif(f)]
+    def bloom(self, bloom_bits: int, num_hashes: int) -> OverheadRow:
+        """The fourth design: constant-memory Bloom state.
+
+        Memory is the fixed ``m``-bit array expressed in P_Key-entry
+        equivalents (one exact entry = 16 bits), *independent of how many
+        keys the attacker sprays* — the whole point versus SIF's
+        ``Pr(n)·Avg(p)`` growth.  The partition table itself (p entries)
+        is still needed for whitelist mode.  Lookups are ``k`` single-bit
+        probes (one digest under double hashing), paid only while the
+        trap-activated filter is on: ``Pr(n)·k``."""
+        if bloom_bits < 1 or num_hashes < 1:
+            raise ValueError("bloom_bits and num_hashes must be positive")
+        entry_equiv = bloom_bits / 16.0
+        return OverheadRow(
+            scheme="Bloom",
+            memory_per_switch=self.p + entry_equiv,
+            memory_all_switches=(self.p + entry_equiv) * self.n,
+            lookups_per_packet=self.attack_probability * num_hashes,
+        )
+
+    def rows(
+        self,
+        f: Callable[[float], float] = f_linear,
+        bloom_bits: int | None = None,
+        bloom_hashes: int = 4,
+    ) -> list[OverheadRow]:
+        rows = [self.dpt(f), self.ingress_filtering(f), self.sif(f)]
+        if bloom_bits is not None:
+            rows.append(self.bloom(bloom_bits, bloom_hashes))
+        return rows
 
     # -- derived observations the paper makes ----------------------------------
 
@@ -124,6 +152,14 @@ def pkey_table_bytes(num_pkeys: int) -> int:
     if num_pkeys < 0:
         raise ValueError("num_pkeys must be non-negative")
     return 2 * num_pkeys
+
+
+def bloom_table_bytes(bloom_bits: int) -> int:
+    """Hardware footprint of an m-bit Bloom enforcement filter (bit array
+    only — the probe positions are recomputed, never stored)."""
+    if bloom_bits < 0:
+        raise ValueError("bloom_bits must be non-negative")
+    return (bloom_bits + 7) // 8
 
 
 #: IBA maximum P_Keys per port and the resulting table size the paper quotes.

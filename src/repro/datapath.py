@@ -1,12 +1,13 @@
 """One switch for the fast-vs-reference packet datapath.
 
-The fast datapath is three independent, individually-toggleable layers that
+The fast datapath is four independent, individually-toggleable layers that
 are all **bit-identical** to their reference counterparts:
 
 * cached header/packet serialization (:mod:`repro.iba.packet`),
 * table-driven CRC-16 + prefix-folded CRCs with a ``zlib.crc32`` backend
   (:mod:`repro.iba.crc`, :mod:`repro.crypto.crc32`),
-* the prepare→verify MAC tag memo (:mod:`repro.core.auth`).
+* the prepare→verify MAC tag memo (:mod:`repro.core.auth`),
+* the Bloom-filter probe-position memo (:mod:`repro.core.bloom`).
 
 :func:`set_datapath` flips them together so benchmarks and equivalence
 tests can run the exact same simulation twice — once the way the code
@@ -25,6 +26,7 @@ import os
 import importlib
 
 from repro.core import auth as _auth
+from repro.core import bloom as _bloom
 from repro.iba import crc as _ibacrc
 from repro.iba import packet as _packet
 
@@ -51,6 +53,7 @@ def set_datapath(mode: str) -> None:
     _ibacrc.set_crc16_impl("table" if fast else "bitwise")
     _crc32.set_crc32_backend("zlib" if fast else "pure")
     _auth.set_tag_memo(fast)
+    _bloom.set_position_memo(fast)
 
 
 def get_datapath() -> str:
@@ -60,6 +63,7 @@ def get_datapath() -> str:
         and _ibacrc.get_crc16_impl() == "table"
         and _crc32.get_crc32_backend() == "zlib"
         and _auth.tag_memo_enabled()
+        and _bloom.position_memo_enabled()
     )
     return "fast" if fast else "reference"
 

@@ -11,8 +11,22 @@ from repro.experiments.table2_overhead import run_table2, format_table2
 from repro.experiments.table4_macs import run_table4, format_table4
 from repro.experiments.fig5_enforcement import Fig5Bar, run_fig5, format_fig5
 from repro.experiments.fig6_auth import Fig6Point, run_fig6, format_fig6
+from repro.experiments.bakeoff4 import (
+    Bakeoff4Row,
+    BloomFpRow,
+    run_bakeoff4,
+    format_bakeoff4,
+    run_bloom_fp_sweep,
+    format_bloom_fp_sweep,
+)
 
 __all__ = [
+    "Bakeoff4Row",
+    "BloomFpRow",
+    "run_bakeoff4",
+    "format_bakeoff4",
+    "run_bloom_fp_sweep",
+    "format_bloom_fp_sweep",
     "Fig1Point",
     "run_fig1",
     "format_fig1",

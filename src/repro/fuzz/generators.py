@@ -187,7 +187,7 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
     height = rng.choice((2, 3))
     nodes = width * height
     num_partitions = rng.randint(2, min(4, nodes))
-    enforcement = rng.choice(("none", "dpt", "if", "sif"))
+    enforcement = rng.choice(("none", "dpt", "if", "sif", "bloom"))
     auth = rng.choice(("icrc", "icrc", "umac", "hmac_md5"))
     keymgmt = "none" if auth == "icrc" else rng.choice(("partition", "qp"))
     num_attackers = min(rng.choice((0, 0, 1, 1, 2)), nodes - 2)
@@ -214,6 +214,12 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
         "keep_samples": False,
         "rsa_bits": 256,
     }
+    if enforcement == "bloom":
+        # Small arrays are deliberately in range so false positives actually
+        # occur under fuzzing (the dominance oracle must hold regardless).
+        config["bloom_bits"] = int(rng.choice((64, 256, 1024)))
+        config["bloom_hashes"] = int(rng.choice((2, 3, 4)))
+        config["bloom_inpacket_tag"] = bool(rng.random() < 0.5)
 
     links = mesh_link_names(width, height)
     coords = [(x, y) for y in range(height) for x in range(width)]

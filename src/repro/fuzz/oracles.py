@@ -14,10 +14,15 @@ Single-run oracles (:data:`ORACLES`):
 * ``counter_trace`` — the counter registry and the trace bus tell the same
   story (delivered/filtered/trap/SIF counts match event counts; a link
   never comes up more often than it went down).
-* ``sif_legality`` — SIF only ever activates after a trap was raised, and
-  its Invalid_P_Key_Table never exceeds the whitelist bound.
+* ``sif_legality`` — SIF (and the Bloom filter, which shares its trap-driven
+  control plane) only ever activates after a trap was raised, and SIF's
+  Invalid_P_Key_Table never exceeds the whitelist bound.
 * ``auth_soundness`` — no tampered or forged packet is ever delivered as
   authentic.
+* ``bloom_dominance`` — on a shadow leg (``bloom_shadow=True``), a
+  :class:`BloomPortFilter` fed the *identical* packet and registration
+  stream as the live SIF filter may over-filter (false positives, counted
+  separately) but must never pass a packet SIF dropped.
 
 :func:`check_differential` is the two-run oracle: the same scenario under
 ``set_datapath("fast")`` vs ``"reference"`` must produce identical counters,
@@ -36,7 +41,7 @@ from typing import Callable
 
 from repro.core.attacks import forge_packet, inject_raw
 from repro.core.auth import auth_function_for
-from repro.core.enforcement import SIFPortFilter
+from repro.core.enforcement import BloomPortFilter, SIFPortFilter, bloom_port_salt
 from repro.datapath import get_datapath, set_datapath
 from repro.observability import get_observability, set_observability
 from repro.sim.scheduler import get_scheduler, set_scheduler
@@ -92,6 +97,9 @@ class FuzzRun:
     base_seq: int  #: packet-id high-water mark before the run started.
     tampered_ids: set[int] = field(default_factory=set)
     injected_ids: set[int] = field(default_factory=set)
+    #: shadow Bloom filters installed alongside live SIF filters
+    #: (``execute_scenario(..., bloom_shadow=True)``); empty otherwise.
+    bloom_shadows: list["_BloomShadowFilter"] = field(default_factory=list)
 
     def rel(self, packet_id: int) -> int:
         """Packet id relative to this run's base (stable across runs)."""
@@ -149,17 +157,63 @@ def _build_injection(inj: ForgedInject, fabric: Fabric, config: SimConfig) -> Da
     raise ValueError(f"unknown injection kind {inj.kind!r}")
 
 
+class _BloomShadowFilter:
+    """Transparent SIF wrapper that drives a shadow :class:`BloomPortFilter`.
+
+    Installed by ``execute_scenario(..., bloom_shadow=True)`` on a SIF
+    scenario: the live SIF filter keeps making every real accept/drop
+    decision while an identically-fed Bloom filter runs beside it, so the
+    never-under-filters contract is checked on *exactly* the same packet and
+    registration stream.  (Two separate simulations could not be compared
+    packet-for-packet: closed-loop sources change their traffic the moment
+    one drop decision differs.)  The shadow uses a private counter registry
+    and no tracer, so the run's report and trace stay those of a plain SIF
+    run — but its idle-check timers do add engine events, which is why a
+    shadow leg is never differentially compared against the plain legs.
+    """
+
+    def __init__(self, sif: SIFPortFilter, bloom: BloomPortFilter) -> None:
+        self.sif = sif
+        self.bloom = bloom
+        #: (packet_id, pkey_value, time_ps) for every packet SIF dropped
+        #: but the Bloom filter would have passed — must stay empty.
+        self.under_filtered: list[tuple[int, int, int]] = []
+
+    def process(self, packet: DataPacket, now_ps: int) -> tuple[bool, float]:
+        verdict = self.sif.process(packet, now_ps)
+        bloom_ok, _ = self.bloom.process(packet, now_ps)
+        if not verdict[0] and bloom_ok:
+            self.under_filtered.append(
+                (packet.packet_id, packet.pkey.value, now_ps)
+            )
+        return verdict
+
+    def register_invalid(self, pkey: PKey, now_ps: int) -> None:
+        self.sif.register_invalid(pkey, now_ps)
+        self.bloom.register_invalid(pkey, now_ps)
+
+    def __getattr__(self, name: str):
+        return getattr(self.sif, name)
+
+
 def execute_scenario(
     scenario: Scenario,
     mode: str,
     scheduler: str | None = None,
     observability: str | None = None,
+    bloom_shadow: bool = False,
 ) -> FuzzRun:
     """Run *scenario* under datapath *mode*; restores the previous mode.
 
     *scheduler* (``"wheel"`` | ``"heap"``) and *observability* (``"on"`` |
     ``"off"``) pin those axes for this run when given; each is restored
     afterwards.  They default to the ambient modes.
+
+    *bloom_shadow* wraps every installed SIF ingress filter in a
+    :class:`_BloomShadowFilter` (sized by the scenario's ``bloom_bits`` /
+    ``bloom_hashes``, default SimConfig values otherwise) so the
+    ``bloom_dominance`` oracle can compare drop decisions on the identical
+    stream; it has no effect on scenarios without SIF enforcement.
     """
     prev_mode = get_datapath()
     prev_sched = get_scheduler()
@@ -176,6 +230,7 @@ def execute_scenario(
         tampered: set[int] = set()
         injected: set[int] = set()
         captured: dict[str, Fabric] = {}
+        shadows: list[_BloomShadowFilter] = []
 
         def setup(engine, fabric: Fabric) -> None:
             captured["fabric"] = fabric
@@ -241,6 +296,29 @@ def execute_scenario(
             for inj in scenario.injections:
                 engine.schedule_at(round(inj.at_us * PS_PER_US), fire_injection, inj)
 
+            if bloom_shadow:
+                for lid in fabric.lids:
+                    sw = fabric.ingress_switch(lid)
+                    port = fabric.ingress_port(lid)
+                    filt = sw.filters[port]
+                    if not isinstance(filt, SIFPortFilter):
+                        continue
+                    bloom = BloomPortFilter(
+                        engine,
+                        set(filt.partition_table),
+                        filt.lookup_ns,
+                        config.sif_idle_timeout_us,
+                        bloom_bits=config.bloom_bits,
+                        bloom_hashes=config.bloom_hashes,
+                        salt=bloom_port_salt(filt.scope),
+                        inpacket_tag=False,  # a SIF run stamps no tags
+                        scope=f"shadow.{filt.scope}",
+                    )
+                    shadow = _BloomShadowFilter(filt, bloom)
+                    sw.set_port_filter(port, shadow)
+                    fabric.sm.registration_hooks[int(lid)] = shadow.register_invalid
+                    shadows.append(shadow)
+
         report = run_simulation(config, tracer=tracer, setup=setup)
         return FuzzRun(
             scenario=scenario,
@@ -251,6 +329,7 @@ def execute_scenario(
             base_seq=base_seq,
             tampered_ids=tampered,
             injected_ids=injected,
+            bloom_shadows=shadows,
         )
     finally:
         set_datapath(prev_mode)
@@ -305,15 +384,17 @@ def check_counter_trace(run: FuzzRun) -> list[Violation]:
         kinds.get("dropped", 0),
     )
     expect("traps", r.counter_total("hca.*.traps_sent"), kinds.get("trap_raised", 0))
+    # SIF and Bloom filters register under the same filter.* counter scopes
+    # but trace mode-specific kinds — the registry total must equal the sum.
     expect(
-        "sif activations",
+        "filter activations",
         r.counter_total("filter.*.activations"),
-        kinds.get("sif_activated", 0),
+        kinds.get("sif_activated", 0) + kinds.get("bloom_activated", 0),
     )
     expect(
-        "sif deactivations",
+        "filter deactivations",
         r.counter_total("filter.*.deactivations"),
-        kinds.get("sif_deactivated", 0),
+        kinds.get("sif_deactivated", 0) + kinds.get("bloom_deactivated", 0),
     )
     # submitted <= traced submits + raw injections (inject_raw emits no
     # 'created' event; a submit still inside auth.prepare's pipeline delay
@@ -349,25 +430,31 @@ def check_counter_trace(run: FuzzRun) -> list[Violation]:
 
 
 def check_sif_legality(run: FuzzRun) -> list[Violation]:
-    """SIF state machine: activation needs a prior trap; table stays bounded."""
+    """Trap-driven filter state machines (SIF and Bloom): activation needs a
+    prior trap, each mode's events only appear under its own enforcement,
+    and SIF's Invalid_P_Key_Table stays within the whitelist bound."""
     out: list[Violation] = []
     events = run.tracer.events
-    sif_on = [e for e in events if e.kind == "sif_activated"]
-    if run.scenario.config.get("enforcement") != "sif":
-        if sif_on:
-            out.append(Violation(
-                "sif_legality", run.mode,
-                f"sif_activated without SIF enforcement ({len(sif_on)} events)",
-            ))
-        return out
+    enforcement = run.scenario.config.get("enforcement")
     traps = [e.time_ps for e in events if e.kind == "trap_raised"]
     first_trap = min(traps) if traps else None
-    for event in sif_on:
-        if first_trap is None or event.time_ps < first_trap:
-            out.append(Violation(
-                "sif_legality", run.mode,
-                f"{event.where} activated at {event.time_ps}ps with no prior trap",
-            ))
+    for kind, owner in (("sif_activated", "sif"), ("bloom_activated", "bloom")):
+        activated = [e for e in events if e.kind == kind]
+        if enforcement != owner:
+            if activated:
+                out.append(Violation(
+                    "sif_legality", run.mode,
+                    f"{kind} without {owner} enforcement"
+                    f" ({len(activated)} events)",
+                ))
+            continue
+        for event in activated:
+            if first_trap is None or event.time_ps < first_trap:
+                out.append(Violation(
+                    "sif_legality", run.mode,
+                    f"{event.where} activated at {event.time_ps}ps"
+                    f" with no prior trap",
+                ))
     for lid in run.fabric.lids:
         filt = run.fabric.ingress_switch(lid).filters[run.fabric.ingress_port(lid)]
         if isinstance(filt, SIFPortFilter):
@@ -377,6 +464,22 @@ def check_sif_legality(run: FuzzRun) -> list[Violation]:
                     "sif_legality", run.mode,
                     f"{filt.scope}: invalid_table={len(filt.invalid_table)}"
                     f" exceeds whitelist bound {bound}",
+                ))
+        elif isinstance(filt, BloomPortFilter):
+            # Constant-memory contract: the bit array never grows, and the
+            # false-positive classifier can never exceed the drop count.
+            if filt.bloom.memory_bytes != (filt.bloom.num_bits + 7) // 8:
+                out.append(Violation(
+                    "sif_legality", run.mode,
+                    f"{filt.scope}: bloom memory {filt.bloom.memory_bytes}B"
+                    f" deviates from fixed {(filt.bloom.num_bits + 7) // 8}B",
+                ))
+            if int(filt.false_positive_drops) > int(filt.drops):
+                out.append(Violation(
+                    "sif_legality", run.mode,
+                    f"{filt.scope}: false_positive_drops="
+                    f"{int(filt.false_positive_drops)} exceeds"
+                    f" drops={int(filt.drops)}",
                 ))
     return out
 
@@ -394,6 +497,41 @@ def check_auth_soundness(run: FuzzRun) -> list[Violation]:
                 "auth_soundness", run.mode,
                 f"{kind} packet #{run.rel(event.packet_id)} delivered at"
                 f" {event.where} ({event.time_ps}ps)",
+            ))
+    return out
+
+
+def check_bloom_vs_sif(run: FuzzRun) -> list[Violation]:
+    """The Bloom contract on a shadow leg: over-filtering allowed (and
+    counted), under-filtering relative to SIF never.
+
+    For every wrapped ingress port: (a) no packet SIF dropped was passed by
+    the identically-fed Bloom filter, (b) the Bloom drop count therefore
+    dominates SIF's, (c) every extra drop is classified — drops minus false
+    positives never exceeds what exact state would have dropped."""
+    out: list[Violation] = []
+    for shadow in run.bloom_shadows:
+        scope = shadow.sif.scope
+        if shadow.under_filtered:
+            pid, pkey, t = shadow.under_filtered[0]
+            out.append(Violation(
+                "bloom_dominance", run.mode,
+                f"{scope}: bloom passed {len(shadow.under_filtered)} packets"
+                f" SIF dropped — first packet #{run.rel(pid)}"
+                f" pkey=0x{pkey:04x} at {t}ps",
+            ))
+        sif_drops = int(shadow.sif.drops)
+        bloom_drops = int(shadow.bloom.drops)
+        if bloom_drops < sif_drops:
+            out.append(Violation(
+                "bloom_dominance", run.mode,
+                f"{scope}: bloom drops={bloom_drops} < sif drops={sif_drops}",
+            ))
+        fp = int(shadow.bloom.false_positive_drops)
+        if fp > bloom_drops:
+            out.append(Violation(
+                "bloom_dominance", run.mode,
+                f"{scope}: false_positive_drops={fp} exceeds drops={bloom_drops}",
             ))
     return out
 
@@ -517,7 +655,10 @@ class ScenarioResult:
 
     ``reference``/``fast`` are the two datapath legs (both under the
     ``wheel`` scheduler); ``heap`` re-runs the fast datapath on the binary
-    heap oracle scheduler, and ``obs_off`` with observability disabled."""
+    heap oracle scheduler, and ``obs_off`` with observability disabled.
+    ``bloom_shadow`` (SIF scenarios only) re-runs with shadow Bloom filters
+    riding the SIF ingress ports for the dominance oracle — its extra
+    shadow-timer events exclude it from the differential comparisons."""
 
     scenario: Scenario
     violations: list[Violation]
@@ -525,6 +666,7 @@ class ScenarioResult:
     fast: FuzzRun | None = None
     heap: FuzzRun | None = None
     obs_off: FuzzRun | None = None
+    bloom_shadow: FuzzRun | None = None
 
     @property
     def ok(self) -> bool:
@@ -553,7 +695,13 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         + check_differential(fast, heap, oracle="scheduler_differential")
         + check_observability_differential(fast, obs_off)
     )
+    shadow = None
+    if scenario.config.get("enforcement") == "sif":
+        shadow = execute_scenario(
+            scenario, "fast", scheduler="wheel", bloom_shadow=True
+        )
+        violations += check_run(shadow) + check_bloom_vs_sif(shadow)
     return ScenarioResult(
         scenario=scenario, violations=violations, reference=reference, fast=fast,
-        heap=heap, obs_off=obs_off,
+        heap=heap, obs_off=obs_off, bloom_shadow=shadow,
     )

@@ -108,6 +108,11 @@ class HCA:
         self.traps_sent = self.registry.counter(f"{scope}.traps_sent")
         #: called with a TrapMAD to reach the SM (wired by the fabric builder).
         self.trap_sink: Callable[[TrapMAD], None] | None = None
+        #: Bloom capability variant: stamps the in-packet membership tag on
+        #: legitimate submits (wired by install_enforcement when
+        #: ``bloom_inpacket_tag`` is on).  Attacker ``inject_raw`` bypasses
+        #: submit() and therefore never earns a tag.
+        self.bloom_stamper: Callable[[DataPacket], None] | None = None
         self._trap_min_interval_ps = round(trap_min_interval_us * PS_PER_US)
         self._last_trap_ps = -(10**18)
         #: Figure-1 accounting: time attack packets too (at their drop point).
@@ -132,6 +137,8 @@ class HCA:
         """Consumer posts a send work request.  ``t_created`` is now."""
         packet.t_created = self.engine.now
         self._trace(self.engine.now, "created", self._trace_name, packet.packet_id)
+        if self.bloom_stamper is not None:
+            self.bloom_stamper(packet)
         delay = 0
         if self.auth is not None:
             delay = self.auth.prepare(packet, self)

@@ -403,6 +403,10 @@ class DataPacket:
     #: Simulation timestamps (ps); filled in by the HCA / fabric.
     t_created: int = 0
     t_injected: int = 0
+    #: In-packet Bloom membership tag (``bloom_inpacket_tag`` capability
+    #: variant); stamped by the sender's HCA, verified by the active Bloom
+    #: ingress filter.  None = no tag carried.
+    bloom_tag: int | None = None
 
     @property
     def src(self) -> LID:

@@ -30,6 +30,7 @@ class EnforcementMode(enum.Enum):
     DPT = "dpt"  #: Duplicate Partition Table — every switch filters at every hop.
     IF = "if"  #: Ingress Filtering — only the source node's switch filters, always.
     SIF = "sif"  #: Stateful Ingress Filtering — trap-driven, on-demand (the paper's proposal).
+    BLOOM = "bloom"  #: Trap-driven like SIF, but constant-memory Bloom-filter state.
 
 
 class AuthMode(enum.Enum):
@@ -142,7 +143,18 @@ class SimConfig:
     sm_trap_latency_us: float = 10.0  #: trap MAD transit + SM handling time.
     sif_idle_timeout_us: float = 200.0
     """SIF disables itself when the Ingress P_Key Violation Counter has not
-    advanced for this long."""
+    advanced for this long.  The Bloom filter reuses the same timeout."""
+    bloom_bits: int = 1024
+    """Bit-array size m of the Bloom enforcement filter (mode ``bloom``).
+    Together with ``bloom_hashes`` this fixes the false-positive rate at a
+    given spray width — sweep it via :func:`repro.sim.sweep.bloom_fp_axis`."""
+    bloom_hashes: int = 4
+    """Number of double-hashing probes k per key (mode ``bloom``)."""
+    bloom_inpacket_tag: bool = False
+    """Capability variant (arXiv 1901.00955): HCAs stamp an in-packet Bloom
+    membership tag for their own partitions' P_Keys; an *active* Bloom
+    ingress filter drops any non-management packet whose tag does not
+    verify.  Only meaningful when ``enforcement`` is ``bloom``."""
     rsa_bits: int = 256
     """Modulus size for the simulated PKI.  256 keeps multi-run sweeps fast;
     examples and tests also exercise 512/1024."""
@@ -203,6 +215,12 @@ class SimConfig:
             raise ValueError("need >= 2 VLs (one per traffic class)")
         if self.auth is not AuthMode.ICRC and self.keymgmt is KeyMgmtMode.NONE:
             raise ValueError(f"{self.auth} requires a key-management mode")
+        if self.bloom_bits < 8:
+            raise ValueError("bloom_bits must be >= 8")
+        if not 1 <= self.bloom_hashes <= 16:
+            raise ValueError("bloom_hashes must be in 1..16")
+        if self.bloom_inpacket_tag and self.enforcement is not EnforcementMode.BLOOM:
+            raise ValueError("bloom_inpacket_tag requires enforcement mode 'bloom'")
         if self.vl_arbitration_high_limit is not None and self.vl_arbitration_high_limit < 1:
             raise ValueError("vl_arbitration_high_limit must be None or >= 1")
         if self.mtu_bytes < 64 or self.mtu_bytes > 4096:

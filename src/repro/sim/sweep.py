@@ -69,8 +69,12 @@ from repro.sim.runner import SimReport, run_simulation
 #: payload (a ``REPRO_DATAPATH=reference`` debug sweep must never be served
 #: fast-mode entries, even though the two modes are meant to be identical);
 #: v4 folded in the scheduler mode the same way (a ``REPRO_SCHEDULER=heap``
-#: oracle sweep must re-execute rather than read wheel-mode entries).
-CACHE_VERSION = 4
+#: oracle sweep must re-execute rather than read wheel-mode entries);
+#: v5 added the Bloom enforcement fields (``bloom_bits``/``bloom_hashes``/
+#: ``bloom_inpacket_tag``) to SimConfig — pre-v5 entries were hashed over a
+#: config shape that could not express them, so a default-bloom-params run
+#: must not be served a pickle from before the Bloom mode existed.
+CACHE_VERSION = 5
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
@@ -490,6 +494,29 @@ class Sweep:
                 row[name] = point.mean(fn)
             rows.append(row)
         return rows
+
+
+def bloom_fp_axis(
+    fp_rates: list[float],
+    expected_entries: int,
+    num_hashes: int = 4,
+) -> dict[str, list[int]]:
+    """Sweep-grid axis that makes false-positive rate the first-class knob.
+
+    Converts each target *fp_rate* into the smallest ``bloom_bits`` whose
+    analytic bound ``(1-e^(-kn/m))^k`` at *expected_entries* registered keys
+    stays at or under it, so ``grid={**bloom_fp_axis([0.1, 0.01], 64)}``
+    sweeps memory footprint along an iso-fp-rate curve.  Duplicate bit
+    sizes (two fp targets rounding to one array size) are collapsed.
+    """
+    from repro.core.bloom import bits_for_fp_rate
+
+    bits: list[int] = []
+    for fp in fp_rates:
+        m = bits_for_fp_rate(expected_entries, fp, num_hashes)
+        if m not in bits:
+            bits.append(m)
+    return {"bloom_bits": bits}
 
 
 def queuing_us(traffic_class: str) -> Callable[[SimReport], float]:

@@ -1,0 +1,89 @@
+"""tier2_bakeoff smoke: the four-way DPT/IF/SIF/Bloom bake-off end to end.
+
+A scaled-down run of the ``repro-sim bakeoff4`` experiment asserting the
+memory-footprint story the comparison exists to tell: Bloom state is
+constant and sized by config, the four modes all block the attack, and the
+formatter emits the memory-footprint chart.
+
+Select with ``pytest -m tier2_bakeoff``; also runs in the tier-1 suite."""
+
+import pytest
+
+from repro.core.overhead import bloom_table_bytes, pkey_table_bytes
+from repro.experiments.bakeoff4 import (
+    MODES4,
+    bakeoff4_config,
+    format_bakeoff4,
+    format_bloom_fp_sweep,
+    memory_bytes_per_port,
+    run_bakeoff4,
+    run_bloom_fp_sweep,
+)
+from repro.sim.config import EnforcementMode
+
+pytestmark = pytest.mark.tier2_bakeoff
+
+#: short attack windows (period = window/duty) so the 1% duty cycle fires
+#: several times inside the scaled-down horizon, as TestFig5Shape does.
+KW = dict(input_loads=(0.40,), sim_time_us=2500.0, seeds=(11,), attack_window_us=20.0)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_bakeoff4(**KW)
+
+
+class TestBakeoff4:
+    def test_one_row_per_mode(self, rows):
+        assert [r.mode for r in rows] == [m.value for m in MODES4]
+
+    def test_filtering_modes_block_the_attack(self, rows):
+        for r in rows:
+            assert r.filtered_at_switches > 0, r.mode
+
+    def test_trap_activated_modes_activate(self, rows):
+        by_mode = {r.mode: r for r in rows}
+        assert by_mode["sif"].activations > 0
+        assert by_mode["bloom"].activations > 0
+        assert by_mode["dpt"].activations == 0  # always-on: nothing to activate
+
+    def test_memory_ordering_is_the_table2_story(self, rows):
+        """IF < SIF < DPT per port; Bloom sits at p entries + the fixed
+        array, independent of the attack."""
+        by_mode = {r.mode: r.memory_bytes for r in rows}
+        assert by_mode["if"] < by_mode["sif"] < by_mode["dpt"]
+        cfg = bakeoff4_config(EnforcementMode.BLOOM, 0.40)
+        assert by_mode["bloom"] == pkey_table_bytes(
+            cfg.num_partitions
+        ) + bloom_table_bytes(cfg.bloom_bits)
+
+    def test_memory_model_rejects_unfiltered_modes(self):
+        cfg = bakeoff4_config(EnforcementMode.BLOOM, 0.40)
+        with pytest.raises(ValueError):
+            memory_bytes_per_port(EnforcementMode.NONE, cfg)
+
+    def test_formatter_emits_memory_chart(self, rows):
+        out = format_bakeoff4(rows)
+        assert "Four-way bake-off" in out
+        assert "memory footprint" in out
+        for r in rows:
+            assert r.mode in out
+
+    def test_sram_access_grows_with_capacity(self, rows):
+        by_mode = {r.mode: r for r in rows}
+        assert by_mode["dpt"].sram_access_ns >= by_mode["if"].sram_access_ns
+
+
+class TestBloomFpSweep:
+    def test_fp_axis_trades_memory_for_collateral(self):
+        rows = run_bloom_fp_sweep(
+            fp_rates=(0.5, 0.01), input_load=0.40,
+            sim_time_us=KW["sim_time_us"], seeds=KW["seeds"],
+            attack_window_us=KW["attack_window_us"],
+        )
+        assert len(rows) == 2
+        # tighter target -> strictly more memory
+        assert rows[1].memory_bytes > rows[0].memory_bytes
+        assert rows[1].target_fp_rate < rows[0].target_fp_rate
+        out = format_bloom_fp_sweep(rows)
+        assert "fp-rate axis" in out

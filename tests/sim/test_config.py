@@ -63,11 +63,33 @@ class TestValidation:
             {"partition_layout": "diagonal"},
             {"attacker_classes": ("warp-speed",)},
             {"attack_dest_strategy": "broadcast"},
+            {"bloom_bits": 4},
+            {"bloom_hashes": 0},
+            {"bloom_hashes": 17},
         ],
     )
     def test_rejects(self, kwargs):
         with pytest.raises(ValueError):
             SimConfig(**kwargs).validate()
+
+    def test_inpacket_tag_requires_bloom_mode(self):
+        with pytest.raises(ValueError):
+            SimConfig(bloom_inpacket_tag=True).validate()
+        with pytest.raises(ValueError):
+            SimConfig(
+                enforcement=EnforcementMode.SIF, bloom_inpacket_tag=True
+            ).validate()
+        SimConfig(
+            enforcement=EnforcementMode.BLOOM, bloom_inpacket_tag=True
+        ).validate()
+
+    def test_bloom_params_valid_in_any_mode(self):
+        """bloom_bits/bloom_hashes are plain knobs — harmless outside bloom
+        mode so sweeps can vary them alongside the enforcement axis."""
+        SimConfig(bloom_bits=8, bloom_hashes=1).validate()
+        SimConfig(
+            enforcement=EnforcementMode.BLOOM, bloom_bits=4096, bloom_hashes=16
+        ).validate()
 
     def test_mac_requires_keymgmt(self):
         with pytest.raises(ValueError):
@@ -91,7 +113,9 @@ class TestValidation:
 
 class TestEnums:
     def test_enforcement_values(self):
-        assert {m.value for m in EnforcementMode} == {"none", "dpt", "if", "sif"}
+        assert {m.value for m in EnforcementMode} == {
+            "none", "dpt", "if", "sif", "bloom",
+        }
 
     def test_auth_values(self):
         assert {m.value for m in AuthMode} == {

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.config import SimConfig
-from repro.sim.sweep import Sweep, network_us, queuing_us, total_us
+from repro.sim.sweep import Sweep, bloom_fp_axis, network_us, queuing_us, total_us
 
 
 @pytest.fixture
@@ -61,6 +61,31 @@ class TestExecution:
         lines = []
         Sweep(base, {"best_effort_load": [0.2, 0.25]}).run(progress=lines.append)
         assert len(lines) == 2
+
+
+class TestBloomFpAxis:
+    def test_tighter_fp_needs_more_bits(self):
+        (bits,) = bloom_fp_axis([0.1], 16, num_hashes=4).values()
+        (tighter,) = bloom_fp_axis([0.001], 16, num_hashes=4).values()
+        assert tighter[0] > bits[0]
+
+    def test_sizes_meet_their_targets(self):
+        from repro.core.bloom import analytic_fp_rate
+
+        axis = bloom_fp_axis([0.5, 0.1, 0.01], 16, num_hashes=4)
+        for fp, bits in zip([0.5, 0.1, 0.01], axis["bloom_bits"]):
+            assert analytic_fp_rate(bits, 4, 16) <= fp
+
+    def test_collapsed_sizes_deduplicated(self):
+        # at 1 entry, loose targets round to the same 8-bit minimum
+        axis = bloom_fp_axis([0.9, 0.89], 1, num_hashes=1)
+        assert len(axis["bloom_bits"]) == len(set(axis["bloom_bits"]))
+
+    def test_axis_is_a_usable_grid(self, base):
+        axis = bloom_fp_axis([0.5, 0.05], 4)
+        sweep = Sweep(base, axis)
+        assert len(sweep.points()) == len(axis["bloom_bits"])
+        assert all("bloom_bits" in p for p in sweep.points())
 
 
 class TestTable:

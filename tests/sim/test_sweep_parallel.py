@@ -147,6 +147,28 @@ class TestRunCache:
         monkeypatch.setattr(sweep_mod, "CACHE_VERSION", 3)
         assert config_key(base) != current
 
+    def test_cache_version_5_invalidates_pre_bloom_entries(self, base, monkeypatch):
+        """Regression: the v4->v5 bump must change every key — pre-v5
+        pickles were hashed over a config shape that could not express the
+        Bloom fields, so a default-bloom-params run must never hit them."""
+        from repro.sim import sweep as sweep_mod
+
+        current = config_key(base)
+        monkeypatch.setattr(sweep_mod, "CACHE_VERSION", 4)
+        assert config_key(base) != current
+
+    def test_cache_key_tracks_bloom_fields(self, base):
+        """The Bloom knobs are part of the hashed payload: two sweeps that
+        differ only in array geometry must never share cache entries."""
+        from repro.sim.config import EnforcementMode
+
+        assert config_key(base) != config_key(base.replace(bloom_bits=2048))
+        assert config_key(base) != config_key(base.replace(bloom_hashes=3))
+        bloom = base.replace(enforcement=EnforcementMode.BLOOM)
+        assert config_key(bloom) != config_key(
+            bloom.replace(bloom_inpacket_tag=True)
+        )
+
     def test_config_change_invalidates(self, base, tmp_path):
         Sweep(base, GRID, seeds=(1,)).run(cache=tmp_path)
         changed = Sweep(

@@ -27,7 +27,7 @@ class TestParser:
             build_parser().parse_args(["fig1", "--panel", "management"])
 
     def test_sweep_flags_on_figures(self):
-        for fig in ("fig5", "fig6"):
+        for fig in ("fig5", "fig6", "bakeoff4"):
             args = build_parser().parse_args(
                 [fig, "--workers", "4", "--no-cache", "--progress"]
             )
@@ -35,6 +35,18 @@ class TestParser:
             assert args.no_cache is True
             assert args.progress is True
             assert args.cache_dir == ".sweep_cache"
+
+    def test_bloom_accepted_as_enforcement_choice(self):
+        for cmd in ("run", "trace", "serve-metrics"):
+            args = build_parser().parse_args([cmd, "--enforcement", "bloom"])
+            assert args.enforcement == "bloom"
+
+    def test_bakeoff4_defaults(self):
+        args = build_parser().parse_args(["bakeoff4"])
+        assert args.command == "bakeoff4"
+        assert args.bloom_bits == 1024
+        assert args.bloom_hashes == 4
+        assert args.fp_sweep is False
 
 
 class TestCommands:
@@ -78,6 +90,27 @@ class TestCommands:
         assert main(["fig1", "--panel", "realtime", "--sim-time-us", "200"]) == 0
         out = capsys.readouterr().out
         assert "Figure 1(a)" in out
+
+    def test_run_with_bloom_enforcement(self, capsys):
+        rc = main([
+            "run", "--sim-time-us", "300", "--attackers", "1",
+            "--enforcement", "bloom",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "switch_filtered=" in out
+
+    def test_bakeoff4_prints_memory_chart(self, capsys):
+        rc = main([
+            "bakeoff4", "--sim-time-us", "400", "--no-cache", "--fp-sweep",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Four-way bake-off" in out
+        for mode in ("dpt", "if", "sif", "bloom"):
+            assert mode in out
+        assert "memory footprint" in out
+        assert "Bloom fp-rate axis" in out
 
     def test_fig6_workers_and_cache_flags(self, capsys, tmp_path):
         argv = [
