@@ -151,6 +151,43 @@ def grouped_bars(
     return "\n".join(lines)
 
 
+def error_band_chart(
+    rows: list[tuple[str, float, float, float]],
+    width: int = 50,
+    unit: str = "us",
+    title: str | None = None,
+) -> str:
+    """Horizontal bars with confidence whiskers — the Monte Carlo layout.
+
+    *rows* are ``(label, mean, lo, hi)`` tuples (``lo``/``hi`` the interval
+    bounds, e.g. from :class:`~repro.sim.stats.ConfidenceInterval`).  The
+    bar fills to the mean; the interval renders as ``(`` … ``)`` marks over
+    the bar span, so overlapping intervals between adjacent bars — the "is
+    this difference real at this seed count?" question — are visible at a
+    glance.  A degenerate interval (lo == hi == mean, the single-seed case)
+    draws no whisker.
+    """
+    if not rows:
+        return title or ""
+    peak = max(hi for _, _, _, hi in rows) or 1.0
+    label_w = max(len(label) for label, *_ in rows)
+    lines = [title] if title else []
+    col = lambda v: min(width - 1, max(0, round(width * v / peak)))
+    for label, mean, lo, hi in rows:
+        if not (lo <= mean <= hi):
+            raise ValueError(f"row {label!r}: need lo <= mean <= hi")
+        filled = col(mean)
+        band = ["#"] * filled + [" "] * (width - filled)
+        if hi > lo:
+            band[col(lo)] = "("
+            band[col(hi)] = ")"
+        suffix = f" ± {(hi - lo) / 2:.2f}" if hi > lo else ""
+        lines.append(
+            f"{label:<{label_w}} |{''.join(band)}| {mean:.2f}{suffix} {unit}"
+        )
+    return "\n".join(lines)
+
+
 def memory_footprint_chart(
     rows: list[tuple[str, int, float, float]],
     width: int = 40,

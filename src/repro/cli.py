@@ -101,6 +101,25 @@ def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
         "--progress", action="store_true",
         help="print per-point progress lines and a sweep profile chart",
     )
+    p.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="Monte Carlo replications per grid point (seeds 11..11+N-1); "
+        "stats pool across seeds and bars gain 95%% CI whiskers",
+    )
+    p.add_argument(
+        "--mc", action="store_true",
+        help="shorthand for --seeds 5 (when --seeds is not given)",
+    )
+
+
+def _seed_tuple(args: argparse.Namespace, first: int = 11) -> tuple[int, ...] | None:
+    """The --seeds/--mc replication set, or None for the figure's default."""
+    n = args.seeds if args.seeds is not None else (5 if args.mc else None)
+    if n is None:
+        return None
+    if n < 1:
+        raise SystemExit("--seeds must be >= 1")
+    return tuple(range(first, first + n))
 
 
 def _add_bench(sub: argparse._SubParsersAction) -> None:
@@ -370,8 +389,24 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments.fig5_enforcement import format_fig5, run_fig5
 
     events: list = []
-    bars = run_fig5(sim_time_us=args.sim_time_us, **_sweep_kwargs(args, events))
+    kwargs = _sweep_kwargs(args, events)
+    seeds = _seed_tuple(args)
+    if seeds is not None:
+        kwargs["seeds"] = seeds
+    bars = run_fig5(sim_time_us=args.sim_time_us, **kwargs)
     print(format_fig5(bars))
+    if any(b.n_seeds > 1 for b in bars):
+        from repro.analysis.charts import error_band_chart
+
+        print()
+        print(error_band_chart(
+            [
+                (f"{b.input_load:.0%} {b.mode}", b.total_us,
+                 b.total_us - b.total_ci_half_us, b.total_us + b.total_ci_half_us)
+                for b in bars
+            ],
+            title=f"total delay with 95% CI ({bars[0].n_seeds} seeds)",
+        ))
     _print_sweep_profile(args, events)
     return 0
 
@@ -380,8 +415,26 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     from repro.experiments.fig6_auth import format_fig6, run_fig6
 
     events: list = []
-    points = run_fig6(sim_time_us=args.sim_time_us, **_sweep_kwargs(args, events))
+    kwargs = _sweep_kwargs(args, events)
+    seeds = _seed_tuple(args, first=17)
+    if seeds is not None:
+        kwargs["seeds"] = seeds
+    points = run_fig6(sim_time_us=args.sim_time_us, **kwargs)
     print(format_fig6(points))
+    if any(p.n_seeds > 1 for p in points):
+        from repro.analysis.charts import error_band_chart
+
+        print()
+        print(error_band_chart(
+            [
+                (f"{p.input_load:.0%} {'keyed' if p.with_key else 'nokey'}",
+                 p.queuing_us + p.network_us,
+                 p.queuing_us + p.network_us - p.total_ci_half_us,
+                 p.queuing_us + p.network_us + p.total_ci_half_us)
+                for p in points
+            ],
+            title=f"total delay with 95% CI ({points[0].n_seeds} seeds)",
+        ))
     _print_sweep_profile(args, events)
     return 0
 
@@ -395,19 +448,37 @@ def _cmd_bakeoff4(args: argparse.Namespace) -> int:
     )
 
     events: list = []
+    seed_kw = {}
+    seeds = _seed_tuple(args)
+    if seeds is not None:
+        seed_kw["seeds"] = seeds
     rows = run_bakeoff4(
         sim_time_us=args.sim_time_us,
         bloom_bits=args.bloom_bits,
         bloom_hashes=args.bloom_hashes,
         attack_window_us=args.attack_window_us,
+        **seed_kw,
         **_sweep_kwargs(args, events),
     )
     print(format_bakeoff4(rows))
+    if any(r.n_seeds > 1 for r in rows):
+        from repro.analysis.charts import error_band_chart
+
+        print()
+        print(error_band_chart(
+            [
+                (f"{r.input_load:.0%} {r.mode}", r.total_us,
+                 r.total_us - r.total_ci_half_us, r.total_us + r.total_ci_half_us)
+                for r in rows
+            ],
+            title=f"total delay with 95% CI ({rows[0].n_seeds} seeds)",
+        ))
     if args.fp_sweep:
         fp_rows = run_bloom_fp_sweep(
             sim_time_us=args.sim_time_us,
             bloom_hashes=args.bloom_hashes,
             attack_window_us=args.attack_window_us,
+            **seed_kw,
             **_sweep_kwargs(args, events),
         )
         print()

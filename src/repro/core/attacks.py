@@ -58,6 +58,8 @@ class RandomPKeyFlooder:
         backlog: int = 32,
         dest_strategy: str = "spray",
         registry: CounterRegistry | None = None,
+        ramp_from_ps: int = 0,
+        ramp_ps: int = 0,
     ) -> None:
         if not target_lids:
             raise ValueError("flooder needs targets")
@@ -87,6 +89,22 @@ class RandomPKeyFlooder:
         self.registry = registry if registry is not None else CounterRegistry()
         self.generated = self.registry.counter(f"attacker.{int(hca.lid)}.generated")
         self._class_rr = 0
+        #: Coordinated ramp: before ``ramp_from_ps`` the flooder idles; over
+        #: the next ``ramp_ps`` its rate climbs linearly to full line rate
+        #: (gap stretching).  ``ramp_ps = 0`` keeps the legacy square-wave
+        #: on/off behaviour.
+        self.ramp_from_ps = max(0, int(ramp_from_ps))
+        self.ramp_ps = max(0, int(ramp_ps))
+
+    def _rate_fraction(self) -> float:
+        """Fraction of line rate the ramp allows right now (0..1]."""
+        if self.ramp_ps <= 0:
+            return 1.0
+        elapsed = self.engine.now - self.ramp_from_ps
+        if elapsed >= self.ramp_ps:
+            return 1.0
+        # floor at 5% so the tick chain keeps advancing during the ramp-in
+        return max(elapsed / self.ramp_ps, 0.05)
 
     def start(self) -> None:
         for start, end in self.windows:
@@ -98,6 +116,10 @@ class RandomPKeyFlooder:
 
     def _tick(self, window_end: int) -> None:
         if self.engine.now >= window_end:
+            return
+        if self.engine.now < self.ramp_from_ps:
+            # coordinated ramp hasn't begun: stay silent until it does
+            self.engine.schedule_at(self.ramp_from_ps, self._tick, window_end)
             return
         # Emit at line rate, but never let the local queue grow beyond a
         # couple of frames — a NIC can't transmit faster than the wire.
@@ -116,7 +138,11 @@ class RandomPKeyFlooder:
             pkt.bth.reserved_auth = 0
             self.hca.submit(pkt)
             self.generated.inc()
-        self.engine.schedule_pooled(self.tick_ps // len(self.classes), self._tick, window_end)
+        gap = self.tick_ps // len(self.classes)
+        frac = self._rate_fraction()
+        if frac < 1.0:
+            gap = round(gap / frac)
+        self.engine.schedule_pooled(gap, self._tick, window_end)
 
 
 class SMTrapFlooder:
@@ -204,21 +230,27 @@ def make_attack_windows(
     duty_cycle: float,
     window_ps: int,
     rng: random.Random,
+    start_ps: int = 0,
 ) -> list[tuple[int, int]]:
     """Attack on/off schedule with the requested duty cycle.
 
-    duty 1.0 → one window covering the whole run (Figure 1).  Otherwise the
-    run is divided into periods of window/duty and each period contains one
-    attack window at a random offset (Figure 5's "probability of DoS attack
-    … 1%").
+    duty 1.0 → one window covering [start, end of run] (Figure 1).
+    Otherwise the span after ``start_ps`` is divided into periods of
+    window/duty and each period contains one attack window at a random
+    offset (Figure 5's "probability of DoS attack … 1%").  ``start_ps``
+    delays the whole schedule — the mid-run "attack begins at t" scenario;
+    the rng draw sequence for ``start_ps = 0`` is unchanged.
     """
     if duty_cycle <= 0:
         return []
+    start_ps = max(0, int(start_ps))
+    if start_ps >= sim_time_ps:
+        return []
     if duty_cycle >= 1.0:
-        return [(0, sim_time_ps)]
+        return [(start_ps, sim_time_ps)]
     period = round(window_ps / duty_cycle)
     windows = []
-    t = 0
+    t = start_ps
     while t + window_ps <= sim_time_ps:
         offset = rng.randrange(max(1, period - window_ps))
         start = t + offset

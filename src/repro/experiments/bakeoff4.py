@@ -33,8 +33,15 @@ from dataclasses import dataclass
 
 from repro.analysis.sram import sram_access_time_ns
 from repro.core.overhead import bloom_table_bytes, pkey_table_bytes
-from repro.experiments.fig5_enforcement import LOAD_SCALE, _combined, fig5_config
+from repro.experiments.fig5_enforcement import (
+    LOAD_SCALE,
+    _attack_period_values_us,
+    _combined_accs,
+    _total_mean_us,
+    fig5_config,
+)
 from repro.sim.config import EnforcementMode, SimConfig
+from repro.sim.engine import PS_PER_US
 from repro.sim.runner import SimReport
 from repro.sim.sweep import RunCache, Sweep, SweepProgress, bloom_fp_axis
 
@@ -64,6 +71,9 @@ class Bakeoff4Row:
     false_positive_drops: int
     memory_bytes: int
     sram_access_ns: float
+    total_ci_half_us: float = 0.0
+    p99_attack_us: float = 0.0
+    n_seeds: int = 1
 
     @property
     def total_us(self) -> float:
@@ -156,23 +166,36 @@ def run_bakeoff4(
     points = sweep.run(progress, workers=workers, cache=cache)
     rows = []
     for (load, mode), point in zip(itertools.product(input_loads, modes), points):
-        acc = [_combined(report) for report in point.reports]
-        k = len(acc)
-        q, n, qs, ns = (sum(col) / k for col in zip(*acc))
+        # pooled (concatenated-sample) stats, not averaged per-seed stddevs
+        q = point.pooled(lambda r: _combined_accs(r)[0])
+        n = point.pooled(lambda r: _combined_accs(r)[1])
+        ci = point.ci(_total_mean_us)
+        attack_values: list[float] = []
+        for report in point.reports:
+            attack_values.extend(_attack_period_values_us(report))
+        if attack_values:
+            from repro.sim.stats import percentile
+
+            p99 = percentile(attack_values, 99)
+        else:
+            p99 = 0.0
         memory = memory_bytes_per_port(mode, sweep.base)
         rows.append(
             Bakeoff4Row(
                 mode=mode.value,
                 input_load=load,
-                queuing_us=q,
-                network_us=n,
-                queuing_std_us=qs,
-                network_std_us=ns,
+                queuing_us=q.mean / PS_PER_US,
+                network_us=n.mean / PS_PER_US,
+                queuing_std_us=q.stddev / PS_PER_US,
+                network_std_us=n.stddev / PS_PER_US,
                 filtered_at_switches=sum(r.switch_filtered for r in point.reports),
                 activations=sum(r.sif_activations for r in point.reports),
                 false_positive_drops=sum(_fp_drops(r) for r in point.reports),
                 memory_bytes=memory,
                 sram_access_ns=sram_access_time_ns(memory / 1024.0),
+                total_ci_half_us=ci.half,
+                p99_attack_us=p99,
+                n_seeds=len(point.reports),
             )
         )
     return rows
@@ -229,17 +252,16 @@ def run_bloom_fp_sweep(
     }
     rows = []
     for point in points:
-        acc = [_combined(report) for report in point.reports]
-        k = len(acc)
-        q, n, _, _ = (sum(col) / k for col in zip(*acc))
+        q = point.pooled(lambda r: _combined_accs(r)[0])
+        n = point.pooled(lambda r: _combined_accs(r)[1])
         bits = int(point.overrides["bloom_bits"])
         rows.append(
             BloomFpRow(
                 target_fp_rate=target_of.get(bits, min(fp_rates)),
                 bloom_bits=bits,
                 memory_bytes=bloom_table_bytes(bits),
-                queuing_us=q,
-                network_us=n,
+                queuing_us=q.mean / PS_PER_US,
+                network_us=n.mean / PS_PER_US,
                 filtered_at_switches=sum(r.switch_filtered for r in point.reports),
                 false_positive_drops=sum(_fp_drops(r) for r in point.reports),
             )
@@ -258,16 +280,20 @@ def bits_matches(bits: int, fp_rate: float, entries: int, num_hashes: int) -> bo
 def format_bakeoff4(rows: list[Bakeoff4Row]) -> str:
     from repro.analysis.charts import memory_footprint_chart
 
+    n_seeds = max((r.n_seeds for r in rows), default=1)
     lines = [
-        "Four-way bake-off — DPT / IF / SIF / Bloom (4 attackers, 1% duty)",
+        "Four-way bake-off — DPT / IF / SIF / Bloom (4 attackers, 1% duty)"
+        + (f" — pooled over {n_seeds} seeds" if n_seeds > 1 else ""),
         f"{'load':>5} {'mode':>6} {'mem/port':>9} {'access':>8} {'queuing':>9} "
-        f"{'network':>9} {'total':>9} {'sw drops':>9} {'fp drops':>9}",
+        f"{'network':>9} {'total':>9} {'±95%':>7} {'p99atk':>8} "
+        f"{'sw drops':>9} {'fp drops':>9}",
     ]
     for r in rows:
         lines.append(
             f"{r.input_load:>5.0%} {r.mode:>6} {r.memory_bytes:>8}B "
             f"{r.sram_access_ns:>6.2f}ns {r.queuing_us:>9.2f} {r.network_us:>9.2f} "
-            f"{r.total_us:>9.2f} {r.filtered_at_switches:>9} {r.false_positive_drops:>9}"
+            f"{r.total_us:>9.2f} {r.total_ci_half_us:>7.2f} {r.p99_attack_us:>8.2f} "
+            f"{r.filtered_at_switches:>9} {r.false_positive_drops:>9}"
         )
     loads = sorted({r.input_load for r in rows})
     for load in loads:

@@ -27,14 +27,25 @@ import os
 from dataclasses import dataclass
 
 from repro.sim.config import AuthMode, KeyMgmtMode, SimConfig
+from repro.sim.engine import PS_PER_US
 from repro.sim.sweep import RunCache, Sweep, SweepProgress
 
-from repro.experiments.fig5_enforcement import LOAD_SCALE, INPUT_LOADS, _combined
+from repro.experiments.fig5_enforcement import (
+    LOAD_SCALE,
+    INPUT_LOADS,
+    _combined_accs,
+    _total_mean_us,
+)
 
 
 @dataclass(frozen=True)
 class Fig6Point:
-    """One (load, keyed?) cell of Figure 6."""
+    """One (load, keyed?) cell of Figure 6.
+
+    Multi-seed runs pool mean/stddev across the concatenated per-delivery
+    samples; ``total_ci_half_us`` is the Student-t 95 % half-width on the
+    per-seed total-delay means (0 for a single seed).
+    """
 
     input_load: float
     with_key: bool
@@ -43,6 +54,8 @@ class Fig6Point:
     queuing_std_us: float
     network_std_us: float
     key_exchanges: int
+    total_ci_half_us: float = 0.0
+    n_seeds: int = 1
 
 
 def fig6_config(
@@ -76,10 +89,12 @@ def fig6_sweep(
     sim_time_us: float = 3000.0,
     seed: int = 17,
     keymgmt: str = "qp",
+    seeds: tuple[int, ...] | None = None,
 ) -> tuple[Sweep, list[tuple[float, bool]]]:
     """The figure as an explicit-point :class:`Sweep` (``auth`` and
     ``keymgmt`` co-vary, which a cartesian grid cannot express), plus the
-    (input_load, with_key) labels in point order."""
+    (input_load, with_key) labels in point order.  *seeds*, when given,
+    replaces the single-seed ``(seed,)`` replication set."""
     base = fig6_config(False, input_loads[0], sim_time_us, seed, keymgmt)
     overrides = []
     labels = []
@@ -94,7 +109,7 @@ def fig6_sweep(
                 }
             )
             labels.append((load, with_key))
-    return Sweep.from_points(base, overrides, seeds=(seed,)), labels
+    return Sweep.from_points(base, overrides, seeds=seeds or (seed,)), labels
 
 
 def run_fig6(
@@ -105,37 +120,44 @@ def run_fig6(
     workers: int = 1,
     cache: RunCache | str | os.PathLike | bool | None = None,
     progress: SweepProgress | None = None,
+    seeds: tuple[int, ...] | None = None,
 ) -> list[Fig6Point]:
-    sweep, labels = fig6_sweep(input_loads, sim_time_us, seed, keymgmt)
+    sweep, labels = fig6_sweep(input_loads, sim_time_us, seed, keymgmt, seeds)
     results = sweep.run(progress, workers=workers, cache=cache)
     points = []
     for (load, with_key), point in zip(labels, results):
-        report = point.reports[0]
-        q, n, qs, ns = _combined(report)
+        q = point.pooled(lambda r: _combined_accs(r)[0])
+        n = point.pooled(lambda r: _combined_accs(r)[1])
+        ci = point.ci(_total_mean_us)
         points.append(
             Fig6Point(
                 input_load=load,
                 with_key=with_key,
-                queuing_us=q,
-                network_us=n,
-                queuing_std_us=qs,
-                network_std_us=ns,
-                key_exchanges=report.key_exchanges,
+                queuing_us=q.mean / PS_PER_US,
+                network_us=n.mean / PS_PER_US,
+                queuing_std_us=q.stddev / PS_PER_US,
+                network_std_us=n.stddev / PS_PER_US,
+                key_exchanges=max(r.key_exchanges for r in point.reports),
+                total_ci_half_us=ci.half,
+                n_seeds=len(point.reports),
             )
         )
     return points
 
 
 def format_fig6(points: list[Fig6Point]) -> str:
+    n_seeds = max((p.n_seeds for p in points), default=1)
     lines = [
-        "Figure 6 — message authentication overhead with key initialization",
+        "Figure 6 — message authentication overhead with key initialization"
+        + (f" — pooled over {n_seeds} seeds" if n_seeds > 1 else ""),
         f"{'load':>5} {'keyed':>6} {'queuing':>9} {'network':>9} "
-        f"{'q.std':>7} {'n.std':>7} {'exchanges':>10}",
+        f"{'±95%':>7} {'q.std':>7} {'n.std':>7} {'exchanges':>10}",
     ]
     for p in points:
         lines.append(
             f"{p.input_load:>5.0%} {'With' if p.with_key else 'No':>6} "
             f"{p.queuing_us:>9.2f} {p.network_us:>9.2f} "
+            f"{p.total_ci_half_us:>7.2f} "
             f"{p.queuing_std_us:>7.2f} {p.network_std_us:>7.2f} {p.key_exchanges:>10}"
         )
     return "\n".join(lines)

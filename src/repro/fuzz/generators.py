@@ -221,6 +221,30 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
         config["bloom_hashes"] = int(rng.choice((2, 3, 4)))
         config["bloom_inpacket_tag"] = bool(rng.random() < 0.5)
 
+    # Open-loop traffic family: every model's parameters are drawn so its
+    # characteristic behaviour fits the short 120-200 µs fuzz horizon (the
+    # conservation/differential oracles must hold under bursty arrivals too).
+    traffic_model = rng.choice(
+        ("poisson", "poisson", "mmpp", "flash_crowd", "incast", "elephant_mice")
+    )
+    config["traffic_model"] = traffic_model
+    if traffic_model == "mmpp":
+        config["mmpp_on_us"] = float(rng.choice((20, 40, 80)))
+        config["mmpp_off_us"] = float(rng.choice((20, 40, 80)))
+    elif traffic_model == "flash_crowd":
+        config["flash_crowd_at_us"] = round(rng.uniform(0.2, 0.6) * sim_time_us, 3)
+        config["flash_crowd_multiplier"] = float(rng.choice((1.5, 2.0, 3.0)))
+    elif traffic_model == "incast":
+        config["incast_period_us"] = float(rng.choice((20, 40, 60)))
+        config["incast_burst_packets"] = int(rng.choice((2, 4, 8)))
+    elif traffic_model == "elephant_mice":
+        config["elephant_fraction"] = float(rng.choice((0.2, 0.25, 0.4)))
+        config["elephant_boost"] = float(rng.choice((1.5, 2.0)))
+    if num_attackers and rng.random() < 0.3:
+        # mid-run coordinated attacker ramp
+        config["attack_start_us"] = round(rng.uniform(0.1, 0.4) * sim_time_us, 3)
+        config["attack_ramp_us"] = round(rng.uniform(0.1, 0.3) * sim_time_us, 3)
+
     links = mesh_link_names(width, height)
     coords = [(x, y) for y in range(height) for x in range(width)]
 

@@ -111,6 +111,37 @@ class SimConfig:
     "an application does not send any packet when the current network status
     cannot support the application's bandwidth requirement"."""
 
+    # --- open-loop traffic family --------------------------------------------
+    traffic_model: str = "poisson"
+    """Best-effort arrival family (all open-loop — none reacts to fabric
+    state): ``"poisson"`` (the paper's model), ``"mmpp"`` (two-state on/off
+    Markov-modulated Poisson bursts), ``"flash_crowd"`` (rate step at a
+    scheduled instant), ``"incast"`` (periodic synchronized fan-in bursts
+    at one victim per partition over background Poisson), or
+    ``"elephant_mice"`` (bimodal per-source rates with the configured load
+    preserved in aggregate)."""
+    mmpp_on_us: float = 200.0
+    """Mean ON-state sojourn (µs) of the MMPP source.  While ON it sends
+    Poisson at ``load * (on + off) / on`` so the long-run rate still equals
+    ``best_effort_load``; while OFF it is silent."""
+    mmpp_off_us: float = 800.0  #: mean OFF-state sojourn (µs) of the MMPP source.
+    flash_crowd_at_us: float = 1000.0
+    """Instant of the flash-crowd rate step.  Before it, sources inject at
+    ``best_effort_load``; from it on, at ``load * flash_crowd_multiplier``."""
+    flash_crowd_multiplier: float = 3.0  #: post-step rate multiplier (>= 1).
+    incast_period_us: float = 500.0
+    """Period of the synchronized fan-in bursts of the incast model."""
+    incast_burst_packets: int = 8
+    """Frames each source aims at the partition victim per incast burst
+    (back-to-back, on top of background Poisson at ``best_effort_load``)."""
+    elephant_fraction: float = 0.25
+    """Expected fraction of best-effort sources that are elephants (chosen
+    per node from its own named RNG stream)."""
+    elephant_boost: float = 3.0
+    """Elephant rate multiplier; mice rates are scaled down so the expected
+    aggregate injection stays at ``best_effort_load``
+    (requires ``elephant_fraction * elephant_boost < 1``)."""
+
     # --- attack ---------------------------------------------------------------
     num_attackers: int = 0
     attack_duty_cycle: float = 1.0
@@ -129,6 +160,13 @@ class SimConfig:
     """Frames the flooder keeps staged per class.  The attacker *generates*
     at full line speed; this bounds how deep its own send queue grows while
     the fabric withholds credits."""
+    attack_start_us: float = 0.0
+    """Attack windows before this instant are suppressed — a coordinated
+    attack that switches on mid-run (0 = attackers are live from t=0)."""
+    attack_ramp_us: float = 0.0
+    """Coordinated ramp: once the attack begins (at ``attack_start_us``),
+    flooders scale their generation rate linearly from ~0 to full line rate
+    over this duration (0 = step to full rate, the original behaviour)."""
     count_attack_in_metrics: bool = False
     """Figure 1 averages queuing time over *all* packets — including the
     attacker's own, whose source queue is where flooding hurts first (attack
@@ -229,6 +267,31 @@ class SimConfig:
             raise ValueError("partition_layout must be 'random' or 'quadrant'")
         if self.attack_dest_strategy not in ("spray", "victim"):
             raise ValueError("attack_dest_strategy must be 'spray' or 'victim'")
+        if self.traffic_model not in (
+            "poisson", "mmpp", "flash_crowd", "incast", "elephant_mice"
+        ):
+            raise ValueError(f"unknown traffic_model {self.traffic_model!r}")
+        if self.mmpp_on_us <= 0 or self.mmpp_off_us < 0:
+            raise ValueError("mmpp_on_us must be > 0 and mmpp_off_us >= 0")
+        if self.flash_crowd_at_us < 0:
+            raise ValueError("flash_crowd_at_us must be >= 0")
+        if self.flash_crowd_multiplier < 1.0:
+            raise ValueError("flash_crowd_multiplier must be >= 1")
+        if self.incast_period_us <= 0:
+            raise ValueError("incast_period_us must be positive")
+        if self.incast_burst_packets < 1:
+            raise ValueError("incast_burst_packets must be >= 1")
+        if not 0.0 <= self.elephant_fraction < 1.0:
+            raise ValueError("elephant_fraction must be in [0, 1)")
+        if self.elephant_boost < 1.0:
+            raise ValueError("elephant_boost must be >= 1")
+        if self.elephant_fraction * self.elephant_boost >= 1.0:
+            raise ValueError(
+                "elephant_fraction * elephant_boost must be < 1 "
+                "(mice would need a non-positive rate)"
+            )
+        if self.attack_start_us < 0 or self.attack_ramp_us < 0:
+            raise ValueError("attack_start_us/attack_ramp_us must be >= 0")
         unknown = set(self.attacker_classes) - {"realtime", "best_effort"}
         if unknown:
             raise ValueError(f"unknown attacker classes: {unknown}")

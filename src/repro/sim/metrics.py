@@ -132,6 +132,38 @@ class MetricsSummary:
             n.add(s.network_ps)
         return q, n
 
+    def values_us(
+        self,
+        traffic_class: str,
+        kind: str = "total",
+        exclude: list[tuple[int, int]] | None = None,
+    ) -> list[float]:
+        """Per-delivery latency values in µs, for percentile readouts.
+
+        *kind* selects ``"queuing"``, ``"network"``, or their ``"total"``;
+        *exclude* windows (ps, on injection time) work as in
+        :meth:`windowed`.  Order follows delivery order — sort (or hand to
+        :func:`repro.sim.stats.percentile`) before reading quantiles.
+        """
+        if kind not in ("queuing", "network", "total"):
+            raise ValueError("kind must be 'queuing', 'network', or 'total'")
+        exclude = exclude or []
+        out: list[float] = []
+        for s in self.samples:
+            if s.traffic_class != traffic_class:
+                continue
+            t = s.injected
+            if any(lo <= t < hi for lo, hi in exclude):
+                continue
+            if kind == "queuing":
+                ps = s.queuing_ps
+            elif kind == "network":
+                ps = s.network_ps
+            else:
+                ps = s.queuing_ps + s.network_ps
+            out.append(ps / PS_PER_US)
+        return out
+
 
 @dataclass
 class MetricsCollector:

@@ -27,7 +27,12 @@ from repro.sim.engine import Engine, PS_PER_US
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
-from repro.sim.traffic import BestEffortSource, Peer, RealtimeSource
+from repro.sim.traffic import (
+    BestEffortSource,
+    Peer,
+    RealtimeSource,
+    make_open_loop_source,
+)
 
 
 @dataclass
@@ -273,6 +278,7 @@ def build_experiment(config: SimConfig, tracer: Tracer | None = None):
         config.attack_duty_cycle if config.num_attackers else 0.0,
         round(config.attack_window_us * PS_PER_US),
         streams.get("windows"),
+        start_ps=round(config.attack_start_us * PS_PER_US),
     )
 
     # --- legitimate traffic: same-partition peers, per Section 3.1
@@ -288,10 +294,9 @@ def build_experiment(config: SimConfig, tracer: Tracer | None = None):
         peers = [Peer(m, qps[m].qpn, qps[m].qkey) for m in sorted(peer_lids)]
         hca = fabric.hca(lid)
         if config.enable_best_effort:
-            src = BestEffortSource(
-                engine, hca, qps[lid], peers, pkeys[index],
-                config.best_effort_load, config.mtu_bytes, byte_ps,
-                streams.get("be", lid), config.sim_time_ps,
+            src = make_open_loop_source(
+                config, engine, hca, qps[lid], peers, pkeys[index],
+                byte_ps, streams, lid,
             )
             src.start()
             sources.append(src)
@@ -324,6 +329,8 @@ def build_experiment(config: SimConfig, tracer: Tracer | None = None):
             backlog=config.attacker_backlog,
             dest_strategy=config.attack_dest_strategy,
             registry=fabric.registry,
+            ramp_from_ps=round(config.attack_start_us * PS_PER_US),
+            ramp_ps=round(config.attack_ramp_us * PS_PER_US),
         )
         flooder.start()
         flooders.append(flooder)

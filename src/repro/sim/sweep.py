@@ -37,6 +37,9 @@ Observability
 ``run(progress=...)`` accepts a :class:`SweepProgress` callback; it
 receives one :class:`PointProgress` event per completed grid point with
 per-point wall time, simulated events/sec, and cache hit/miss counts.
+Events are delivered in grid-index order regardless of worker count or
+which points were served from the cache (completed points are buffered
+until all their predecessors have been emitted).
 :func:`repro.analysis.charts.sweep_progress_chart` renders a list of these
 events as an ASCII chart; aggregate counters land in ``Sweep.stats``.
 """
@@ -73,8 +76,14 @@ from repro.sim.runner import SimReport, run_simulation
 #: v5 added the Bloom enforcement fields (``bloom_bits``/``bloom_hashes``/
 #: ``bloom_inpacket_tag``) to SimConfig — pre-v5 entries were hashed over a
 #: config shape that could not express them, so a default-bloom-params run
-#: must not be served a pickle from before the Bloom mode existed.
-CACHE_VERSION = 5
+#: must not be served a pickle from before the Bloom mode existed;
+#: v6 added the open-loop traffic family (``traffic_model`` and its
+#: per-model knobs) and the coordinated attacker ramp
+#: (``attack_start_us``/``attack_ramp_us``) to SimConfig — pre-v6 entries
+#: were hashed over a config shape that could only express plain Poisson
+#: sources and step-on attackers, so a default-model run must never be
+#: served a pickle from before those axes existed.
+CACHE_VERSION = 6
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
@@ -167,8 +176,17 @@ class RunCache:
             with open(tmp, "wb") as f:
                 pickle.dump(report, f, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, target)
-        except OSError:
-            tmp.unlink(missing_ok=True)
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            # An unwritable cache directory OR an unpicklable report (a
+            # runner can attach arbitrary extras; pickle raises
+            # PicklingError, TypeError, or AttributeError — local objects
+            # raise the latter — depending on the payload) is a non-fatal
+            # cache skip: the run's in-memory result is intact.  The
+            # partially-written tmp must not leak into the cache dir.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
 
 
 def _resolve_cache(
@@ -237,18 +255,66 @@ class SweepStats:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid point's outcome."""
+    """One grid point's outcome.
+
+    ``mean`` treats each seed's metric as one observation; the Monte Carlo
+    accessors (``pooled``/``ci``/``percentile``) see through to the
+    underlying per-delivery samples, so cross-seed variance is aggregated
+    correctly (see :mod:`repro.sim.stats`).
+    """
 
     overrides: dict[str, Any]
     seeds: tuple[int, ...]
     reports: tuple[SimReport, ...]
 
-    def mean(self, metric: Callable[[SimReport], float]) -> float:
+    def _require_reports(self) -> None:
         if not self.reports:
             raise ValueError(
                 f"SweepPoint {self.overrides} has no reports (seeds=())"
             )
+
+    def mean(self, metric: Callable[[SimReport], float]) -> float:
+        self._require_reports()
         return sum(metric(r) for r in self.reports) / len(self.reports)
+
+    def pooled(self, accumulator_of: Callable[[SimReport], Any]) -> Any:
+        """Merge per-seed :class:`~repro.sim.metrics.StatAccumulator`\\ s.
+
+        *accumulator_of* extracts one accumulator per report (e.g. the
+        queuing-time accumulator of one traffic class); the result's
+        variance equals Welford over the concatenated samples — the
+        pooled stddev a multi-seed bar must quote.
+        """
+        from repro.sim.stats import pooled as _pooled
+
+        self._require_reports()
+        return _pooled(accumulator_of(r) for r in self.reports)
+
+    def ci(
+        self, metric: Callable[[SimReport], float], confidence: float = 0.95
+    ):
+        """Student-t confidence interval on the per-seed means of *metric*
+        (a :class:`~repro.sim.stats.ConfidenceInterval`)."""
+        from repro.sim.stats import mean_ci
+
+        self._require_reports()
+        return mean_ci([metric(r) for r in self.reports], confidence)
+
+    def percentile(
+        self, samples_of: Callable[[SimReport], list[float]], q: float
+    ) -> float:
+        """The *q*-th percentile over every seed's samples, concatenated.
+
+        *samples_of* extracts the raw per-delivery values of one report
+        (e.g. via :meth:`~repro.sim.metrics.MetricsSummary.values_us`).
+        """
+        from repro.sim.stats import percentile as _percentile
+
+        self._require_reports()
+        values: list[float] = []
+        for r in self.reports:
+            values.extend(samples_of(r))
+        return _percentile(values, q)
 
 
 @dataclass
@@ -346,6 +412,20 @@ class Sweep:
             sum(1 for idx, _ in jobs if idx // len(seeds) == pi) if seeds else 0
             for pi in range(len(points))
         ]
+        # The PointProgress stream is strictly index-ordered: a completed
+        # point (including a fully-cached one, which never enters the job
+        # queue) is buffered until every lower-indexed point has been
+        # emitted.  Serial runs emit each point as it completes anyway;
+        # parallel runs trade a little emission latency for a stream that
+        # is deterministic regardless of completion order or cache state.
+        point_done = [bool(seeds) and r == 0 for pi, r in enumerate(point_remaining)]
+        next_emit = 0
+
+        def flush_ordered() -> None:
+            nonlocal next_emit
+            while next_emit < len(points) and point_done[next_emit]:
+                emit_point(next_emit)
+                next_emit += 1
 
         def finish_job(idx: int, report: SimReport) -> None:
             results[idx] = report
@@ -355,7 +435,8 @@ class Sweep:
             pi = idx // len(seeds)
             point_remaining[pi] -= 1
             if point_remaining[pi] == 0:
-                emit_point(pi)
+                point_done[pi] = True
+                flush_ordered()
 
         def emit_point(pi: int) -> None:
             if progress is None:
@@ -378,15 +459,12 @@ class Sweep:
                 )
             )
 
+        flush_ordered()  # fully-cached prefix streams before any simulation
         if workers > 1 and jobs:
             self._execute_parallel(jobs, workers, timeout, runner, finish_job)
         else:
             for idx, cfg in jobs:
                 finish_job(idx, runner(cfg))
-        # fully-cached points never enter the job queue: emit them too
-        for pi in range(len(points)):
-            if seeds and point_hits[pi] == len(seeds):
-                emit_point(pi)
 
         self._results = [
             SweepPoint(

@@ -15,6 +15,13 @@
 
 Load is expressed as a fraction of the 2.5 Gbps link bandwidth, measured in
 on-the-wire bytes (MTU payload plus LRH/BTH/DETH/CRC overhead).
+
+Beyond plain Poisson, the best-effort side has an **open-loop family**
+(``SimConfig.traffic_model``, built by :func:`make_open_loop_source`): MMPP
+on/off bursts, a flash-crowd rate step, synchronized incast fan-in, and an
+elephant/mice rate mix.  All of them draw exclusively from named
+:class:`~repro.sim.rng.RngStreams` streams, so per-seed byte-determinism —
+and with it the sweep cache and the fuzz differential legs — is preserved.
 """
 
 from __future__ import annotations
@@ -182,12 +189,14 @@ class BestEffortSource:
         self._prefixes = {p: payload_prefix(hca.lid, p.lid) for p in peers}
 
     def start(self) -> None:
-        self.engine.schedule_pooled(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
+        self.engine.schedule_pooled(self._next_gap_ps(), self._arrival)
 
-    def _arrival(self) -> None:
-        if self.engine.now >= self.stop_at_ps:
-            return
-        peer = self.rng.choice(self.peers)
+    def _next_gap_ps(self) -> int:
+        """Draw the next inter-arrival gap — the subclass hook the open-loop
+        family overrides (rate steps, bimodal mixes)."""
+        return exponential_ps(self.rng, self.mean_gap_ps)
+
+    def _send_one(self, peer: Peer) -> None:
         pkt = make_ud_packet(
             self.hca, self.qp, peer.lid, peer.qpn, peer.qkey,
             self.pkey, TrafficClass.BEST_EFFORT, self.mtu_bytes,
@@ -195,7 +204,12 @@ class BestEffortSource:
         )
         self.hca.submit(pkt)
         self.generated += 1
-        self.engine.schedule_pooled(exponential_ps(self.rng, self.mean_gap_ps), self._arrival)
+
+    def _arrival(self) -> None:
+        if self.engine.now >= self.stop_at_ps:
+            return
+        self._send_one(self.rng.choice(self.peers))
+        self.engine.schedule_pooled(self._next_gap_ps(), self._arrival)
 
 
 class RealtimeSource:
@@ -256,3 +270,214 @@ class RealtimeSource:
             self.hca.submit(pkt)
             self.generated += 1
         self.engine.schedule_pooled(self.interval_ps, self._tick)
+
+
+# --------------------------------------------------------------------------
+# open-loop traffic family (SimConfig.traffic_model)
+
+
+class MMPPSource(BestEffortSource):
+    """Two-state on/off Markov-modulated Poisson source.
+
+    Sojourn times in ON and OFF are exponential (means ``on_us``/``off_us``,
+    drawn from *modulation_rng* — a separate named stream, so the burst
+    schedule does not perturb the arrival draws).  While ON, arrivals are
+    Poisson at rate ``load * (on + off) / on``; while OFF the source is
+    silent — the long-run average rate equals the configured *load*, which
+    keeps MMPP sweeps comparable to plain Poisson at the same ``load`` axis.
+    """
+
+    def __init__(self, *args, on_us: float, off_us: float,
+                 modulation_rng: random.Random, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        from repro.sim.engine import PS_PER_US
+
+        self.on_ps = max(1.0, on_us * PS_PER_US)
+        self.off_ps = max(0.0, off_us * PS_PER_US)
+        self.mod_rng = modulation_rng
+        # burst-state gap: compensate for the silent fraction of time.
+        self.burst_gap_ps = self.mean_gap_ps * self.on_ps / (self.on_ps + self.off_ps)
+        self.on = False
+        self.bursts = 0
+        # Arrival-chain epoch: an OFF→ON flip starts a fresh chain and any
+        # still-pending arrival from a previous ON period must not revive
+        # (it would double the injection rate), so arrivals carry the epoch
+        # they were scheduled under and drop themselves when it is stale.
+        self._epoch = 0
+
+    def start(self) -> None:
+        # Start in the stationary state mix so short runs are not biased
+        # toward the (usually long) OFF state.
+        p_on = self.on_ps / (self.on_ps + self.off_ps)
+        if self.off_ps <= 0 or self.mod_rng.random() < p_on:
+            self._enter_on()
+        else:
+            self.engine.schedule_pooled(
+                exponential_ps(self.mod_rng, self.off_ps), self._enter_on
+            )
+
+    def _enter_on(self) -> None:
+        if self.engine.now >= self.stop_at_ps:
+            return
+        self.on = True
+        self.bursts += 1
+        self._epoch += 1
+        self.engine.schedule_pooled(
+            exponential_ps(self.rng, self.burst_gap_ps), self._arrival, self._epoch
+        )
+        if self.off_ps > 0:
+            self.engine.schedule_pooled(
+                exponential_ps(self.mod_rng, self.on_ps), self._enter_off
+            )
+
+    def _enter_off(self) -> None:
+        self.on = False
+        if self.engine.now < self.stop_at_ps:
+            self.engine.schedule_pooled(
+                exponential_ps(self.mod_rng, self.off_ps), self._enter_on
+            )
+
+    def _next_gap_ps(self) -> int:
+        return exponential_ps(self.rng, self.burst_gap_ps)
+
+    def _arrival(self, epoch: int | None = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            return  # stale chain from a previous ON period
+        if not self.on or self.engine.now >= self.stop_at_ps:
+            return
+        self._send_one(self.rng.choice(self.peers))
+        self.engine.schedule_pooled(self._next_gap_ps(), self._arrival, epoch)
+
+
+class FlashCrowdSource(BestEffortSource):
+    """Poisson source with a rate step at a scheduled instant.
+
+    Before ``step_at_ps`` it injects at the configured *load*; from the
+    step on, at ``load * multiplier`` — the open-loop flash-crowd model
+    (nothing about the fabric's state feeds back into the rate).
+    """
+
+    def __init__(self, *args, step_at_ps: int, multiplier: float, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if multiplier < 1.0:
+            raise ValueError("flash-crowd multiplier must be >= 1")
+        self.step_at_ps = max(0, int(step_at_ps))
+        self.multiplier = multiplier
+
+    def _next_gap_ps(self) -> int:
+        gap = self.mean_gap_ps
+        if self.engine.now >= self.step_at_ps:
+            gap = gap / self.multiplier
+        return exponential_ps(self.rng, gap)
+
+
+class IncastSource(BestEffortSource):
+    """Background Poisson plus synchronized fan-in bursts at one victim.
+
+    Every ``period_ps`` (at exact multiples of the period — all sources in
+    the fabric burst at the same instant), the source aims
+    ``burst_packets`` back-to-back MTU frames at *victim* (the factory
+    picks each partition's lowest-LID member, so a whole partition's bursts
+    converge on a single HCA — the classic incast hotspot).
+    """
+
+    def __init__(self, *args, period_ps: int, burst_packets: int,
+                 victim: Peer, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if period_ps <= 0:
+            raise ValueError("incast period must be positive")
+        if burst_packets < 1:
+            raise ValueError("incast burst must be >= 1 packets")
+        if victim not in self.peers:
+            raise ValueError("incast victim must be one of the peers")
+        self.period_ps = int(period_ps)
+        self.burst_packets = burst_packets
+        self.victim = victim
+        self.burst_sent = 0
+
+    def start(self) -> None:
+        super().start()  # background Poisson chain
+        self.engine.schedule_at(self.period_ps, self._burst)
+
+    def _burst(self) -> None:
+        if self.engine.now >= self.stop_at_ps:
+            return
+        for _ in range(self.burst_packets):
+            self._send_one(self.victim)
+            self.burst_sent += 1
+        self.engine.schedule_pooled(self.period_ps, self._burst)
+
+
+class ElephantMiceSource(BestEffortSource):
+    """Poisson source whose rate is the elephant or mouse share of *load*.
+
+    The factory decides each node's role from its own named stream and
+    scales the rates so the expected aggregate stays at the configured
+    load: elephants inject at ``load * boost``, mice at
+    ``load * (1 - fraction * boost) / (1 - fraction)``.
+    """
+
+    def __init__(self, *args, elephant: bool, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.elephant = elephant
+
+
+def make_open_loop_source(
+    config,
+    engine: Engine,
+    hca: HCA,
+    qp: QueuePair,
+    peers: list[Peer],
+    pkey: PKey,
+    byte_time_ps: int,
+    streams,
+    lid: LID,
+) -> BestEffortSource:
+    """Build the best-effort source ``config.traffic_model`` asks for.
+
+    Every stochastic choice (arrivals, MMPP modulation, elephant role) comes
+    from its own named stream of *streams* (an
+    :class:`~repro.sim.rng.RngStreams`), so two runs of the same config are
+    byte-identical and a model change perturbs only its own streams.
+    """
+    from repro.sim.engine import PS_PER_US
+
+    model = config.traffic_model
+    rng = streams.get("be", lid)
+    args = (engine, hca, qp, peers, pkey)
+    load = config.best_effort_load
+    common = dict(
+        mtu_bytes=config.mtu_bytes, byte_time_ps=byte_time_ps,
+        rng=rng, stop_at_ps=config.sim_time_ps,
+    )
+    if model == "poisson":
+        return BestEffortSource(*args, load, **common)
+    if model == "mmpp":
+        return MMPPSource(
+            *args, load, **common,
+            on_us=config.mmpp_on_us, off_us=config.mmpp_off_us,
+            modulation_rng=streams.get("mmpp", lid),
+        )
+    if model == "flash_crowd":
+        return FlashCrowdSource(
+            *args, load, **common,
+            step_at_ps=round(config.flash_crowd_at_us * PS_PER_US),
+            multiplier=config.flash_crowd_multiplier,
+        )
+    if model == "incast":
+        victim = min(peers, key=lambda p: int(p.lid))
+        return IncastSource(
+            *args, load, **common,
+            period_ps=round(config.incast_period_us * PS_PER_US),
+            burst_packets=config.incast_burst_packets,
+            victim=victim,
+        )
+    if model == "elephant_mice":
+        f, boost = config.elephant_fraction, config.elephant_boost
+        elephant = f > 0 and streams.get("role", lid).random() < f
+        if elephant:
+            node_load = min(1.0, load * boost)
+        else:
+            node_load = load * (1.0 - f * boost) / (1.0 - f) if f > 0 else load
+        return ElephantMiceSource(*args, node_load, **common, elephant=elephant)
+    raise ValueError(f"unknown traffic_model {model!r}")

@@ -2,6 +2,7 @@
 and time-windowed exclusion (the 'excluding the attacking period' analysis)."""
 
 import math
+import random
 import statistics
 
 import pytest
@@ -68,6 +69,61 @@ class TestStatAccumulator:
         b.add(3.0)
         a.merge(b)
         assert a.count == 1 and a.mean == 3.0
+
+    def test_merge_into_empty_copies_all_state(self):
+        src = StatAccumulator()
+        for x in (2.0, 8.0, -1.0):
+            src.add(x)
+        dst = StatAccumulator()
+        dst.merge(src)
+        assert dst.count == src.count
+        assert dst.mean == src.mean
+        assert dst.variance == src.variance
+        assert dst.min == -1.0 and dst.max == 8.0
+        # the copy is by value: mutating dst must not touch src
+        dst.add(100.0)
+        assert src.count == 3 and src.max == 8.0
+
+    def test_merge_from_empty_is_noop(self):
+        a = StatAccumulator()
+        for x in (1.0, 2.0, 3.0):
+            a.add(x)
+        before = (a.count, a.mean, a.variance, a.min, a.max)
+        a.merge(StatAccumulator())
+        assert (a.count, a.mean, a.variance, a.min, a.max) == before
+
+    def test_merge_propagates_min_max_from_both_sides(self):
+        a, b = StatAccumulator(), StatAccumulator()
+        for x in (5.0, 9.0):
+            a.add(x)
+        for x in (-7.0, 3.0):
+            b.add(x)
+        a.merge(b)
+        assert a.min == -7.0 and a.max == 9.0
+        # and symmetric: the other side holding the extremes
+        c, d = StatAccumulator(), StatAccumulator()
+        for x in (-100.0, 100.0):
+            c.add(x)
+        d.add(0.0)
+        d.merge(c)
+        assert d.min == -100.0 and d.max == 100.0
+
+    def test_chan_merge_equals_welford_over_many_random_splits(self):
+        rng = random.Random(13)
+        data = [rng.gauss(20.0, 6.0) for _ in range(200)]
+        oracle = StatAccumulator()
+        for x in data:
+            oracle.add(x)
+        for split in (1, 50, 117, 199):
+            a, b = StatAccumulator(), StatAccumulator()
+            for x in data[:split]:
+                a.add(x)
+            for x in data[split:]:
+                b.add(x)
+            a.merge(b)
+            assert a.count == oracle.count
+            assert a.mean == pytest.approx(oracle.mean)
+            assert a.variance == pytest.approx(oracle.variance)
         b.merge(StatAccumulator())
         assert b.count == 1
 

@@ -1,0 +1,129 @@
+"""Unit tests for the Monte Carlo statistics layer (repro.sim.stats)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.sim.metrics import StatAccumulator
+from repro.sim.stats import (
+    ConfidenceInterval,
+    mean_ci,
+    percentile,
+    pooled,
+    t_critical,
+)
+
+
+def welford_of(values):
+    acc = StatAccumulator()
+    for v in values:
+        acc.add(v)
+    return acc
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical(1) == pytest.approx(12.706)
+        assert t_critical(4) == pytest.approx(2.776)
+        assert t_critical(30) == pytest.approx(2.042)
+        assert t_critical(10, confidence=0.99) == pytest.approx(3.169)
+        assert t_critical(2, confidence=0.90) == pytest.approx(2.920)
+
+    def test_large_df_uses_normal_quantile(self):
+        assert t_critical(31) == pytest.approx(1.960)
+        assert t_critical(10_000) == pytest.approx(1.960)
+        assert t_critical(100, confidence=0.99) == pytest.approx(2.576)
+
+    def test_monotone_decreasing_in_df(self):
+        vals = [t_critical(df) for df in range(1, 31)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            t_critical(0)
+        with pytest.raises(ValueError):
+            t_critical(5, confidence=0.42)
+
+
+class TestMeanCI:
+    def test_single_value_is_degenerate(self):
+        ci = mean_ci([7.5])
+        assert ci == ConfidenceInterval(mean=7.5, half=0.0, confidence=0.95, n=1)
+        assert ci.lo == ci.hi == 7.5
+
+    def test_known_interval(self):
+        # mean 3, sample sd 1, n 3 -> half = t(2) * 1/sqrt(3)
+        ci = mean_ci([2.0, 3.0, 4.0])
+        assert ci.mean == pytest.approx(3.0)
+        assert ci.half == pytest.approx(4.303 / math.sqrt(3))
+        assert ci.n == 3
+        assert ci.lo == pytest.approx(ci.mean - ci.half)
+        assert ci.hi == pytest.approx(ci.mean + ci.half)
+
+    def test_higher_confidence_is_wider(self):
+        values = [1.0, 2.0, 4.0, 8.0, 9.0]
+        assert (
+            mean_ci(values, 0.90).half
+            < mean_ci(values, 0.95).half
+            < mean_ci(values, 0.99).half
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+
+class TestPooled:
+    def test_matches_concatenation_oracle(self):
+        rng = random.Random(7)
+        groups = [
+            [rng.gauss(mu, 2.0) for _ in range(n)]
+            for mu, n in ((10.0, 40), (30.0, 25), (12.0, 60))
+        ]
+        merged = pooled(welford_of(g) for g in groups)
+        oracle = welford_of([v for g in groups for v in g])
+        assert merged.count == oracle.count
+        assert merged.mean == pytest.approx(oracle.mean)
+        assert merged.variance == pytest.approx(oracle.variance)
+        assert merged.min == oracle.min
+        assert merged.max == oracle.max
+
+    def test_pooled_variance_exceeds_average_when_means_differ(self):
+        # The seed-aggregation bug this layer replaced: averaging per-group
+        # stddevs drops the between-group spread entirely.
+        a = welford_of([10.0, 10.0, 10.0, 10.0])
+        b = welford_of([50.0, 50.0, 50.0, 50.0])
+        averaged_std = (a.stddev + b.stddev) / 2
+        assert averaged_std == 0.0
+        assert pooled([a, b]).stddev > 20.0
+
+    def test_empty_iterable_gives_empty_accumulator(self):
+        acc = pooled([])
+        assert acc.count == 0
+        assert acc.mean == 0.0
+        assert acc.stddev == 0.0
+
+
+class TestPercentile:
+    def test_endpoints_and_median(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_linear_interpolation_matches_numpy_convention(self):
+        # rank = q/100 * (n-1); for [10, 20, 30, 40] and q=25 -> rank 0.75
+        assert percentile([10.0, 20.0, 30.0, 40.0], 25) == pytest.approx(17.5)
+        assert percentile([10.0, 20.0, 30.0, 40.0], 99) == pytest.approx(39.7)
+
+    def test_single_value(self):
+        assert percentile([5.0], 99) == 5.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)

@@ -63,6 +63,92 @@ class TestExecution:
         assert len(lines) == 2
 
 
+class TestProgressStreamOrder:
+    """PointProgress events arrive strictly in grid-index order, no matter
+    which points were served from the cache."""
+
+    def events_for(self, base, loads, cache_dir):
+        events = []
+        Sweep(base, {"best_effort_load": loads}).run(
+            progress=events.append, cache=cache_dir
+        )
+        return events
+
+    def test_cached_prefix_streams_in_order(self, base, tmp_path):
+        self.events_for(base, [0.2], tmp_path)  # warm point 0 only
+        events = self.events_for(base, [0.2, 0.25], tmp_path)
+        assert [e.index for e in events] == [0, 1]
+        assert events[0].cache_hits == 1 and events[0].cache_misses == 0
+        assert events[1].cache_hits == 0 and events[1].cache_misses == 1
+
+    def test_cached_middle_point_streams_in_order(self, base, tmp_path):
+        self.events_for(base, [0.25], tmp_path)  # warm the middle point
+        events = self.events_for(base, [0.2, 0.25, 0.3], tmp_path)
+        assert [e.index for e in events] == [0, 1, 2]
+        assert [e.cache_hits for e in events] == [0, 1, 0]
+
+    def test_fully_cached_sweep_still_ordered(self, base, tmp_path):
+        self.events_for(base, [0.2, 0.25], tmp_path)
+        events = self.events_for(base, [0.2, 0.25], tmp_path)
+        assert [e.index for e in events] == [0, 1]
+        assert all(e.cache_hits == 1 and e.cache_misses == 0 for e in events)
+
+
+class TestMonteCarloAccessors:
+    @pytest.fixture
+    def point(self, base):
+        sweep = Sweep(
+            base.replace(keep_samples=True), {}, seeds=(1, 2, 3)
+        )
+        (point,) = sweep.run()
+        return point
+
+    @staticmethod
+    def be_queuing_acc(report):
+        return report.metrics.windowed("best_effort")[0]
+
+    def test_pooled_matches_concatenated_sample_oracle(self, point):
+        from repro.sim.metrics import StatAccumulator
+
+        oracle = StatAccumulator()
+        for r in point.reports:
+            for s in r.metrics.samples:
+                if s.traffic_class == "best_effort":
+                    oracle.add(s.queuing_ps)
+        merged = point.pooled(self.be_queuing_acc)
+        assert merged.count == oracle.count > 0
+        assert merged.mean == pytest.approx(oracle.mean)
+        assert merged.variance == pytest.approx(oracle.variance)
+
+    def test_pooled_differs_from_averaged_stddev(self, point):
+        # the bug the MC layer fixes: these two aggregations are not equal
+        per_seed = [self.be_queuing_acc(r).stddev for r in point.reports]
+        averaged = sum(per_seed) / len(per_seed)
+        assert point.pooled(self.be_queuing_acc).stddev >= averaged
+
+    def test_ci_brackets_the_mean_of_seed_means(self, point):
+        metric = queuing_us("best_effort")
+        ci = point.ci(metric)
+        assert ci.n == 3
+        assert ci.lo <= point.mean(metric) <= ci.hi
+        assert ci.mean == pytest.approx(point.mean(metric))
+
+    def test_percentile_orders_correctly(self, point):
+        values_of = lambda r: r.metrics.values_us("best_effort")
+        p50 = point.percentile(values_of, 50)
+        p99 = point.percentile(values_of, 99)
+        assert 0 < p50 <= p99
+
+    def test_no_reports_raise(self, base):
+        sweep = Sweep(base, {}, seeds=())
+        (point,) = sweep.run()
+        assert point.reports == ()
+        with pytest.raises(ValueError):
+            point.pooled(self.be_queuing_acc)
+        with pytest.raises(ValueError):
+            point.ci(queuing_us("best_effort"))
+
+
 class TestBloomFpAxis:
     def test_tighter_fp_needs_more_bits(self):
         (bits,) = bloom_fp_axis([0.1], 16, num_hashes=4).values()

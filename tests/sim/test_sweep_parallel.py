@@ -157,6 +157,54 @@ class TestRunCache:
         monkeypatch.setattr(sweep_mod, "CACHE_VERSION", 4)
         assert config_key(base) != current
 
+    def test_cache_version_6_invalidates_pre_traffic_family_entries(
+        self, base, monkeypatch
+    ):
+        """Regression: the v5->v6 bump must change every key — pre-v6
+        pickles were hashed over a config shape that could only express
+        plain Poisson sources and step-on attackers, so a default
+        traffic_model run must never hit them."""
+        from repro.sim import sweep as sweep_mod
+
+        current = config_key(base)
+        monkeypatch.setattr(sweep_mod, "CACHE_VERSION", 5)
+        assert config_key(base) != current
+
+    def test_cache_key_tracks_traffic_family_fields(self, base):
+        """The traffic-model and attacker-ramp knobs are hashed: sweeps that
+        differ only in arrival process must never share cache entries."""
+        assert config_key(base) != config_key(base.replace(traffic_model="mmpp"))
+        assert config_key(base) != config_key(base.replace(mmpp_on_us=50.0))
+        assert config_key(base) != config_key(base.replace(incast_burst_packets=2))
+        assert config_key(base) != config_key(base.replace(attack_start_us=10.0))
+        assert config_key(base) != config_key(base.replace(attack_ramp_us=5.0))
+
+    def test_unpicklable_report_skips_cache_and_cleans_tmp(self, base, tmp_path):
+        """Regression: ``RunCache.put`` only caught OSError — an unpicklable
+        report attribute raised through the sweep AND leaked the partially
+        written ``.tmp`` alongside the cache entries."""
+        cache = RunCache(root=tmp_path)
+        report = run_simulation(base)
+        report.counters = dict(report.counters)
+        report.counters["bad"] = lambda: None  # pickling raises
+        cache.put(base, report)  # must not raise
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob("*.pkl")) == []
+        assert cache.get(base) is None  # a skip, not a corrupt entry
+
+    def test_unwritable_cache_dir_is_nonfatal(self, base, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("directory permissions do not bind as root")
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o500)
+        try:
+            cache = RunCache(root=locked)
+            cache.put(base, run_simulation(base))  # must not raise
+            assert list(locked.glob("*")) == []
+        finally:
+            locked.chmod(0o700)
+
     def test_cache_key_tracks_bloom_fields(self, base):
         """The Bloom knobs are part of the hashed payload: two sweeps that
         differ only in array geometry must never share cache entries."""

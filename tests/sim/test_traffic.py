@@ -11,7 +11,17 @@ from repro.iba.types import LID, QPN, ServiceType, TrafficClass
 from repro.sim.engine import Engine, PS_PER_US
 from repro.sim.metrics import MetricsCollector
 from repro.sim.rng import RngStreams
-from repro.sim.traffic import BestEffortSource, Peer, RealtimeSource, make_ud_packet
+from repro.sim.traffic import (
+    BestEffortSource,
+    ElephantMiceSource,
+    FlashCrowdSource,
+    IncastSource,
+    MMPPSource,
+    Peer,
+    RealtimeSource,
+    make_open_loop_source,
+    make_ud_packet,
+)
 
 BYTE_PS = 3200
 MTU = 1024
@@ -111,6 +121,186 @@ class TestBestEffortSource:
         with pytest.raises(ValueError):
             BestEffortSource(engine, hca, qp, PEERS, PKey(1), 0.0, MTU, BYTE_PS,
                              RngStreams(0).get("x"), 10**9)
+
+
+def wire_time_ps():
+    return (MTU + LOCAL_UD_OVERHEAD) * BYTE_PS
+
+
+class TestMMPPSource:
+    def make(self, engine, horizon, on_us=100.0, off_us=100.0, seed=0, load=0.3):
+        hca, qp, sink = make_sender(engine)
+        streams = RngStreams(seed)
+        src = MMPPSource(
+            engine, hca, qp, PEERS, PKey(0x8001), load,
+            mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+            rng=streams.get("be"), stop_at_ps=horizon,
+            on_us=on_us, off_us=off_us,
+            modulation_rng=streams.get("mmpp"),
+        )
+        return src, sink
+
+    def test_long_run_rate_matches_load(self, engine):
+        horizon = round(20_000 * PS_PER_US)
+        src, _ = self.make(engine, horizon)
+        src.start()
+        engine.run(until=horizon)
+        expected = 0.3 * horizon / wire_time_ps()
+        assert expected * 0.8 < src.generated < expected * 1.2
+        assert src.bursts > 10  # actually modulating, not one long ON
+
+    def test_zero_off_time_degenerates_to_poisson_rate(self, engine):
+        horizon = round(3000 * PS_PER_US)
+        src, _ = self.make(engine, horizon, off_us=0.0)
+        src.start()
+        engine.run(until=horizon)
+        expected = 0.3 * horizon / wire_time_ps()
+        assert expected * 0.8 < src.generated < expected * 1.2
+
+    def test_deterministic_per_seed(self, engine):
+        horizon = round(2000 * PS_PER_US)
+        runs = []
+        for _ in range(2):
+            eng = Engine()
+            src, sink = self.make(eng, horizon, seed=42)
+            src.start()
+            eng.run(until=horizon)
+            runs.append((src.generated, src.bursts,
+                         tuple(p.bth.psn for p in sink.received[:20])))
+        assert runs[0] == runs[1]
+
+
+class TestFlashCrowdSource:
+    def test_rate_steps_at_the_scheduled_instant(self, engine):
+        hca, qp, sink = make_sender(engine)
+        horizon = round(4000 * PS_PER_US)
+        step_at = horizon // 2
+        src = FlashCrowdSource(
+            engine, hca, qp, PEERS, PKey(0x8001), 0.2,
+            mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+            rng=RngStreams(3).get("be"), stop_at_ps=horizon,
+            step_at_ps=step_at, multiplier=3.0,
+        )
+        src.start()
+        engine.run(until=horizon)
+        before = sum(1 for p in sink.received if p.t_created < step_at)
+        after = sum(1 for p in sink.received if p.t_created >= step_at)
+        base = 0.2 * step_at / wire_time_ps()
+        assert base * 0.8 < before < base * 1.2
+        assert 3 * base * 0.8 < after < 3 * base * 1.2
+
+    def test_multiplier_below_one_rejected(self, engine):
+        hca, qp, _ = make_sender(engine)
+        with pytest.raises(ValueError):
+            FlashCrowdSource(
+                engine, hca, qp, PEERS, PKey(0x8001), 0.2,
+                mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+                rng=RngStreams(3).get("be"), stop_at_ps=10**9,
+                step_at_ps=0, multiplier=0.5,
+            )
+
+
+class TestIncastSource:
+    def test_burst_quota_on_top_of_background(self, engine):
+        hca, qp, sink = make_sender(engine)
+        horizon = round(2000 * PS_PER_US)
+        period = round(100 * PS_PER_US)
+        src = IncastSource(
+            engine, hca, qp, PEERS, PKey(0x8001), 0.2,
+            mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+            rng=RngStreams(5).get("be"), stop_at_ps=horizon,
+            period_ps=period, burst_packets=4, victim=PEERS[0],
+        )
+        src.start()
+        engine.run(until=horizon)
+        expected_bursts = (horizon // period - 1) * 4  # first burst at t=period
+        assert src.burst_sent >= expected_bursts
+        background = 0.2 * horizon / wire_time_ps()
+        assert src.generated == pytest.approx(
+            background + src.burst_sent, rel=0.25
+        )
+
+    def test_victim_must_be_a_peer(self, engine):
+        hca, qp, _ = make_sender(engine)
+        stranger = Peer(LID(99), QPN(0x199), QKey(0x99))
+        with pytest.raises(ValueError):
+            IncastSource(
+                engine, hca, qp, PEERS, PKey(0x8001), 0.2,
+                mtu_bytes=MTU, byte_time_ps=BYTE_PS,
+                rng=RngStreams(5).get("be"), stop_at_ps=10**9,
+                period_ps=10**6, burst_packets=2, victim=stranger,
+            )
+
+
+class TestMakeOpenLoopSource:
+    def config(self, **kw):
+        from repro.sim.config import SimConfig
+
+        defaults = dict(sim_time_us=500.0, best_effort_load=0.3)
+        defaults.update(kw)
+        return SimConfig(**defaults)
+
+    def build(self, engine, config, seed=9):
+        hca, qp, _ = make_sender(engine)
+        return make_open_loop_source(
+            config, engine, hca, qp, PEERS, PKey(0x8001),
+            BYTE_PS, RngStreams(seed), LID(1),
+        )
+
+    def test_dispatches_every_model(self, engine):
+        expected = {
+            "poisson": BestEffortSource,
+            "mmpp": MMPPSource,
+            "flash_crowd": FlashCrowdSource,
+            "incast": IncastSource,
+            "elephant_mice": ElephantMiceSource,
+        }
+        for model, cls in expected.items():
+            src = self.build(engine, self.config(traffic_model=model))
+            assert type(src) is cls
+            # the whole family keeps the runner's isinstance sender counting
+            assert isinstance(src, BestEffortSource)
+
+    def test_unknown_model_rejected(self, engine):
+        cfg = self.config()
+        cfg.traffic_model = "carrier_pigeon"
+        with pytest.raises(ValueError):
+            self.build(engine, cfg)
+
+    def test_elephant_mice_rates_average_to_load(self, engine):
+        # Role is a per-node draw: across many nodes the expected aggregate
+        # rate is the configured load exactly.
+        cfg = self.config(
+            traffic_model="elephant_mice",
+            elephant_fraction=0.25, elephant_boost=2.0,
+        )
+        streams = RngStreams(4)
+        rates, elephants = [], 0
+        for lid in range(1, 201):
+            hca, qp, _ = make_sender(Engine())
+            src = make_open_loop_source(
+                cfg, hca.engine, hca, qp, PEERS, PKey(0x8001),
+                BYTE_PS, streams, LID(lid),
+            )
+            elephants += src.elephant
+            rates.append(wire_time_ps() / src.mean_gap_ps)
+        assert 0.25 * 200 * 0.7 < elephants < 0.25 * 200 * 1.3
+        mean_rate = sum(rates) / len(rates)
+        assert mean_rate == pytest.approx(0.3, rel=0.1)
+
+    def test_incast_victim_is_min_lid_peer(self, engine):
+        peers = [
+            Peer(LID(7), QPN(0x107), QKey(7)),
+            Peer(LID(2), QPN(0x102), QKey(2)),
+            Peer(LID(5), QPN(0x105), QKey(5)),
+        ]
+        cfg = self.config(traffic_model="incast")
+        hca, qp, _ = make_sender(engine)
+        src = make_open_loop_source(
+            cfg, engine, hca, qp, peers, PKey(0x8001),
+            BYTE_PS, RngStreams(9), LID(1),
+        )
+        assert int(src.victim.lid) == 2
 
 
 class TestRealtimeSource:
