@@ -15,6 +15,8 @@ Usage (installed as ``repro-sim`` or via ``python -m repro.cli``)::
     repro-sim bench --output BENCH_datapath.json
     repro-sim bench-engine --output BENCH_engine.json
     repro-sim serve-metrics --port 8123
+    repro-sim serve --port 8200 --workers 4
+    repro-sim soak --clients 8
     repro-sim fuzz --runs 25 --seed 0 --shrink --corpus fuzz_corpus/
 """
 
@@ -198,6 +200,67 @@ def _add_serve_metrics(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation job service (POST scenarios, poll results)",
+        description=(
+            "Serves the admission-controlled job API over stdlib http.server: "
+            "POST a fuzz-scenario JSON to /jobs (schema repro.fuzz_scenario/1, "
+            "unknown keys rejected), poll GET /jobs/<id>, fetch "
+            "/jobs/<id>/report and /jobs/<id>/trace.  Results are "
+            "content-addressed into the sweep run cache, so duplicate "
+            "submissions answer instantly.  SIGINT/SIGTERM drains "
+            "gracefully: running jobs finish, new submissions get 503."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8200, help="bind port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2, help="concurrent simulation workers")
+    p.add_argument("--queue-depth", type=int, default=32, help="job backlog bound (429 beyond it)")
+    p.add_argument(
+        "--rate", type=float, default=5.0,
+        help="per-client token-bucket refill (submissions/s)",
+    )
+    p.add_argument("--burst", type=int, default=10, help="per-client token-bucket capacity")
+    p.add_argument("--cache-dir", default=".sweep_cache", help="content-addressed result cache")
+    p.add_argument(
+        "--no-subprocess", action="store_true",
+        help="run jobs in worker threads instead of subprocesses (no crash isolation)",
+    )
+    p.add_argument(
+        "--max-sim-time-us", type=float, default=60_000.0,
+        help="reject scenarios with a longer simulated horizon",
+    )
+
+
+def _add_soak(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "soak",
+        help="concurrency soak of the job service (exit 1 on any discrepancy)",
+        description=(
+            "Starts an in-process job service and hammers it over HTTP from "
+            "N concurrent clients plus a rate-limit flooder, mixing fresh, "
+            "duplicate, and malformed submissions.  Audits the books "
+            "afterwards: no lost jobs, client-observed 400/429/503 counts "
+            "equal to the server's counters, byte-identical duplicate "
+            "reports, bounded queue depth, clean drain."
+        ),
+    )
+    p.add_argument("--clients", type=int, default=8, help="concurrent well-behaved clients")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--queue-depth", type=int, default=64)
+    p.add_argument("--sim-time-us", type=float, default=50.0, help="horizon of each soak scenario")
+    p.add_argument(
+        "--subprocess", action="store_true",
+        help="execute soak jobs in subprocesses (slower; exercises isolation)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="reuse this result cache (default: fresh temp dir per run)",
+    )
+
+
 def _add_fuzz(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "fuzz",
@@ -276,6 +339,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench(sub)
     _add_bench_engine(sub)
     _add_serve_metrics(sub)
+    _add_serve(sub)
+    _add_soak(sub)
     _add_fuzz(sub)
     return parser
 
@@ -551,7 +616,31 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _install_stop_signals(message: str, *signals_to_trap: int):
+    """Route SIGTERM/SIGINT to KeyboardInterrupt so ``with server:`` blocks
+    unwind through their normal stop path.  Returns an undo callable; a
+    no-op off the main thread (signal handlers are main-thread-only)."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+
+    def _handler(signum: int, frame) -> None:
+        print(f"received {signal.Signals(signum).name}: {message}", flush=True)
+        raise KeyboardInterrupt
+
+    previous = [(s, signal.signal(s, _handler)) for s in signals_to_trap]
+
+    def _undo() -> None:
+        for sig, old in previous:
+            signal.signal(sig, old)
+
+    return _undo
+
+
 def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    import signal
     import time as _time
 
     from repro.sim.config import EnforcementMode, SimConfig
@@ -569,17 +658,88 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     cfg.validate()
     tracer = Tracer(max_events=1000)
     engine, fabric, *_ = build_experiment(cfg, tracer=tracer)
-    with MetricsServer(engine, fabric.registry, tracer, port=args.port) as server:
-        print(f"serving metrics at {server.url}/metrics  (sim horizon {args.sim_time_us} us)")
-        engine.run(until=cfg.sim_time_ps)
-        print(
-            f"simulation complete: events={engine.events_processed} "
-            f"delivered={fabric.metrics.delivered}"
-        )
-        if args.linger_s > 0:
-            print(f"serving final state for {args.linger_s:.0f}s more...")
-            _time.sleep(args.linger_s)
+    undo_signals = _install_stop_signals("stopping metrics server", signal.SIGTERM)
+    try:
+        with MetricsServer(engine, fabric.registry, tracer, port=args.port) as server:
+            print(f"serving metrics at {server.url}/metrics  (sim horizon {args.sim_time_us} us)")
+            try:
+                engine.run(until=cfg.sim_time_ps)
+                print(
+                    f"simulation complete: events={engine.events_processed} "
+                    f"delivered={fabric.metrics.delivered}"
+                )
+                if args.linger_s > 0:
+                    print(f"serving final state for {args.linger_s:.0f}s more...")
+                    _time.sleep(args.linger_s)
+            except KeyboardInterrupt:
+                print(
+                    f"interrupted at t={engine.now_ps / 1e6:.1f} us: "
+                    f"events={engine.events_processed}"
+                )
+    finally:
+        undo_signals()
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.api import JobService, ServiceConfig
+
+    service = JobService(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        cache_dir=args.cache_dir,
+        use_subprocess=not args.no_subprocess,
+        max_sim_time_us=args.max_sim_time_us,
+    ))
+    undo_signals = _install_stop_signals(
+        "draining (running jobs finish; new submissions get 503)",
+        signal.SIGTERM, signal.SIGINT,
+    )
+    try:
+        url = service.start()
+        print(
+            f"serving jobs at {url}/jobs  "
+            f"(workers={args.workers}, queue depth {args.queue_depth}, "
+            f"{args.rate:g}/s x{args.burst} per client, cache {args.cache_dir})"
+        )
+        print("POST a scenario JSON to /jobs; poll /jobs/<id>; ctrl-C to drain")
+        try:
+            while True:
+                signal.pause()
+        except KeyboardInterrupt:
+            pass
+        service.close()
+        counters = service.registry.snapshot()
+        print(
+            f"drained: completed={counters.get('service.completed', 0)} "
+            f"failed={counters.get('service.failed', 0)} "
+            f"cache_hits={counters.get('service.cache_hits', 0)}"
+        )
+    finally:
+        undo_signals()
+        service.stop()
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.experiments.soak_service import SoakConfig, format_soak, run_soak
+
+    report = run_soak(SoakConfig(
+        clients=args.clients,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        sim_time_us=args.sim_time_us,
+        use_subprocess=args.subprocess,
+        cache_dir=args.cache_dir,
+    ))
+    print(format_soak(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -638,6 +798,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "bench-engine": _cmd_bench_engine,
     "serve-metrics": _cmd_serve_metrics,
+    "serve": _cmd_serve,
+    "soak": _cmd_soak,
     "fuzz": _cmd_fuzz,
 }
 

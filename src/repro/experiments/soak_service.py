@@ -1,0 +1,445 @@
+"""Concurrency soak for the job service — hammer the API, audit the books.
+
+Spins up an in-process :class:`~repro.service.api.JobService` on an
+ephemeral port, then drives it over real HTTP from N concurrent client
+threads plus one deliberately abusive "flooder".  Each normal client
+interleaves three traffic kinds:
+
+``fresh``
+    a scenario no other client submits (unique seed) — must be accepted
+    and run exactly once;
+``dup``
+    a scenario from a small shared pool every client submits — the
+    coalescing/cache story must collapse these onto one simulation and
+    every fetched report must be **byte-identical**;
+``malformed``
+    bodies from the shared :data:`~repro.service.badinput.INVALID_SUBMISSIONS`
+    catalogue (plus one oversized payload) — every one must 400 and must
+    never consume a rate-limit token.
+
+The flooder fires ``burst + flood_extra`` valid submissions
+back-to-back against a bucket refilling at ``rate_per_s`` — slow enough
+that at least ``flood_extra - rate_per_s * poll_timeout_s`` of them are
+guaranteed 429s no matter how slowly the host schedules threads.
+
+After the wave the harness polls every returned job id to a terminal
+state, re-submits each pool scenario (must be an instant ``cache_hit``
+with the same report bytes), drains the service, and probes that a
+post-drain submission gets 503.  The audit then cross-checks the
+client-side ledger against the server's counters:
+
+* zero lost jobs — every 200/202 job id reaches ``done``; nothing stays
+  queued/running; queue ``pushed == popped``;
+* correct rejection accounting — client-observed 400/429/503 counts
+  equal the server's ``service.rejected_*`` counters exactly;
+* byte-identical duplicates — all report bodies sharing a cache key are
+  equal bytes;
+* bounded memory — queue ``peak_depth`` never exceeded ``maxsize``.
+
+Any discrepancy lands in ``SoakReport.problems`` (empty = pass).  Run
+via ``repro-sim soak``; the ``tier2_service`` marker runs a scaled-down
+version.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+from repro.service.api import CLIENT_HEADER, JobService, ServiceConfig
+from repro.service.badinput import INVALID_SUBMISSIONS, oversized_submission
+
+#: Scenarios in the shared duplicate pool (every client submits all of them).
+POOL_SIZE = 3
+
+
+@dataclass
+class SoakConfig:
+    """Knobs for one soak run (defaults = the acceptance configuration)."""
+
+    clients: int = 8  #: concurrent well-behaved client threads.
+    fresh_per_client: int = 2
+    dups_per_client: int = POOL_SIZE
+    malformed_per_client: int = 2
+    flood_extra: int = 8  #: flooder submissions beyond the bucket burst.
+    workers: int = 2
+    queue_depth: int = 64
+    rate_per_s: float = 0.5  #: slow refill => flooder 429s are guaranteed.
+    burst: int = 12  #: > tokens any well-behaved client spends (5).
+    sim_time_us: float = 50.0
+    use_subprocess: bool = False  #: in-thread jobs: fast + deterministic.
+    poll_timeout_s: float = 120.0
+    cache_dir: str | None = None  #: None = fresh tempdir (hermetic run).
+
+
+@dataclass
+class SoakReport:
+    """The audited outcome of one soak run (``problems`` empty = pass)."""
+
+    config: SoakConfig
+    attempts: int = 0
+    accepted: int = 0  #: 202s that created a new job.
+    coalesced: int = 0  #: 202s that joined an in-flight job.
+    cache_hits: int = 0  #: 200s answered from the result cache.
+    rejected_400: int = 0
+    rejected_429: int = 0
+    rejected_503: int = 0
+    unique_jobs: int = 0  #: distinct job ids the service handed out.
+    duplicate_groups: int = 0  #: cache keys fetched from >= 2 job ids.
+    server_counters: dict = field(default_factory=dict)
+    jobs: dict = field(default_factory=dict)
+    queue: dict = field(default_factory=dict)
+    problems: list = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+# -- HTTP helpers (urllib against the in-process server) ----------------------
+
+
+def _request(
+    method: str, url: str, body: bytes | None = None, client_id: str = "soak"
+) -> tuple[int, bytes, dict]:
+    req = urllib.request.Request(url, data=body, method=method)
+    req.add_header(CLIENT_HEADER, client_id)
+    if body is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as err:  # non-2xx still carries JSON
+        return err.code, err.read(), dict(err.headers)
+
+
+def _scenario_body(name: str, seed: int, sim_time_us: float) -> bytes:
+    return json.dumps({
+        "schema": "repro.fuzz_scenario/1",
+        "name": name,
+        "config": {
+            "mesh_width": 2,
+            "mesh_height": 2,
+            "num_partitions": 2,
+            "sim_time_us": sim_time_us,
+            "warmup_us": 0.0,
+            "keep_samples": False,
+            "seed": seed,
+        },
+    }).encode()
+
+
+def _pool_bodies(cfg: SoakConfig) -> list[bytes]:
+    return [
+        _scenario_body(f"soak-pool-{k}", seed=5000 + k, sim_time_us=cfg.sim_time_us)
+        for k in range(POOL_SIZE)
+    ]
+
+
+def _client_script(cfg: SoakConfig, index: int, pool: list[bytes]) -> list[tuple[str, bytes]]:
+    """The deterministic (kind, body) submission list for client *index*."""
+    dups = [("dup", pool[(index + j) % len(pool)])
+            for j in range(cfg.dups_per_client)]
+    fresh = [("fresh", _scenario_body(
+        f"soak-fresh-{index}-{j}",
+        seed=10_000 + index * 100 + j,
+        sim_time_us=cfg.sim_time_us,
+    )) for j in range(cfg.fresh_per_client)]
+    malformed = [
+        ("malformed",
+         INVALID_SUBMISSIONS[(index * cfg.malformed_per_client + j)
+                             % len(INVALID_SUBMISSIONS)][1])
+        for j in range(cfg.malformed_per_client)
+    ]
+    # round-robin interleave so dup/fresh/malformed traffic overlaps in time
+    ops: list[tuple[str, bytes]] = []
+    for i in range(max(len(dups), len(fresh), len(malformed))):
+        for lane in (dups, fresh, malformed):
+            if i < len(lane):
+                ops.append(lane[i])
+    return ops
+
+
+@dataclass
+class _Ledger:
+    """One client thread's observed outcomes (merged into the report)."""
+
+    statuses: list = field(default_factory=list)  #: (kind, status) pairs.
+    job_keys: dict = field(default_factory=dict)  #: job_id -> cache key.
+    flags: list = field(default_factory=list)  #: (cache_hit, coalesced, is_new).
+    errors: list = field(default_factory=list)
+
+
+def _run_client(
+    base: str, client_id: str, script: list[tuple[str, bytes]],
+    barrier: threading.Barrier, ledger: _Ledger,
+) -> None:
+    barrier.wait()
+    for kind, body in script:
+        try:
+            status, raw, headers = _request("POST", f"{base}/jobs", body, client_id)
+        except Exception as exc:  # a transport failure is a lost submission
+            ledger.errors.append(f"{client_id}: transport error: {exc!r}")
+            continue
+        ledger.statuses.append((kind, status))
+        if status in (200, 202):
+            payload = json.loads(raw)
+            ledger.job_keys[payload["job_id"]] = payload["key"]
+            ledger.flags.append(
+                (payload["cache_hit"], payload["coalesced"], status == 202)
+            )
+            if kind == "malformed":
+                ledger.errors.append(
+                    f"{client_id}: malformed body accepted with {status}"
+                )
+        elif status == 429 and "Retry-After" not in headers:
+            ledger.errors.append(f"{client_id}: 429 without Retry-After header")
+
+
+# -- the soak itself -----------------------------------------------------------
+
+
+def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
+    """Run one full soak and return the audited report."""
+    cfg = cfg or SoakConfig()
+    report = SoakReport(config=cfg)
+    tmp = tempfile.mkdtemp(prefix="soak_cache_") if cfg.cache_dir is None else cfg.cache_dir
+    service = JobService(ServiceConfig(
+        workers=cfg.workers,
+        queue_depth=cfg.queue_depth,
+        rate_per_s=cfg.rate_per_s,
+        burst=cfg.burst,
+        cache_dir=tmp,
+        use_subprocess=cfg.use_subprocess,
+    ))
+    base = service.start()
+    t0 = time.perf_counter()
+    try:
+        _soak_wave(cfg, base, report)
+        _audit(cfg, service, base, report)
+    finally:
+        service.close()
+        report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def _soak_wave(cfg: SoakConfig, base: str, report: SoakReport) -> None:
+    """Phase one: the concurrent submission wave + flooder."""
+    pool = _pool_bodies(cfg)
+    ledgers = [_Ledger() for _ in range(cfg.clients + 1)]
+    barrier = threading.Barrier(cfg.clients + 1)
+    threads = [
+        threading.Thread(
+            target=_run_client,
+            args=(base, f"client-{i}", _client_script(cfg, i, pool),
+                  barrier, ledgers[i]),
+            name=f"soak-client-{i}",
+        )
+        for i in range(cfg.clients)
+    ]
+    flood_script = [("dup", pool[0])] * (cfg.burst + cfg.flood_extra)
+    threads.append(threading.Thread(
+        target=_run_client,
+        args=(base, "flooder", flood_script, barrier, ledgers[-1]),
+        name="soak-flooder",
+    ))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=cfg.poll_timeout_s)
+    report.problems.extend(
+        f"client thread {t.name} still alive after the wave"
+        for t in threads if t.is_alive()
+    )
+
+    # merge the client-side ledgers
+    job_keys: dict[str, str] = {}
+    for ledger in ledgers:
+        report.problems.extend(ledger.errors)
+        job_keys.update(ledger.job_keys)
+        for kind, status in ledger.statuses:
+            report.attempts += 1
+            if status == 400:
+                report.rejected_400 += 1
+                if kind != "malformed":
+                    report.problems.append(f"valid {kind} submission got 400")
+            elif status == 429:
+                report.rejected_429 += 1
+            elif status == 503:
+                report.rejected_503 += 1
+            elif status not in (200, 202):
+                report.problems.append(f"unexpected status {status} for {kind}")
+        for cache_hit, coalesced, is_new in ledger.flags:
+            if cache_hit:
+                report.cache_hits += 1
+            elif coalesced:
+                report.coalesced += 1
+            elif is_new:
+                report.accepted += 1
+    report.unique_jobs = len(job_keys)
+
+    # phase two: poll every returned job to a terminal state (zero lost jobs)
+    deadline = time.monotonic() + cfg.poll_timeout_s
+    for job_id in job_keys:
+        state = _poll_job(base, job_id, deadline)
+        if state != "done":
+            report.problems.append(f"job {job_id} ended as {state!r}, not done")
+
+    # phase three: byte-identical duplicate reports, per cache key
+    by_key: dict[str, set[str]] = {}
+    for job_id, key in job_keys.items():
+        by_key.setdefault(key, set()).add(job_id)
+    for i, body in enumerate(pool):
+        status, raw, _ = _request("POST", f"{base}/jobs", body, "verifier")
+        report.attempts += 1
+        if status != 200:
+            report.problems.append(
+                f"pool scenario {i} resubmission was {status}, expected 200 cache hit"
+            )
+            continue
+        payload = json.loads(raw)
+        if not payload["cache_hit"]:
+            report.problems.append(f"pool scenario {i} resubmission missed the cache")
+        report.cache_hits += 1
+        by_key.setdefault(payload["key"], set()).add(payload["job_id"])
+    for key, ids in sorted(by_key.items()):
+        bodies = set()
+        for job_id in sorted(ids):
+            status, raw, _ = _request("GET", f"{base}/jobs/{job_id}/report")
+            if status != 200:
+                report.problems.append(f"report fetch for {job_id} was {status}")
+                continue
+            bodies.add(raw)
+        if len(ids) > 1:
+            report.duplicate_groups += 1
+            if len(bodies) != 1:
+                report.problems.append(
+                    f"key {key[:12]}… served {len(bodies)} distinct report "
+                    f"bodies across {len(ids)} jobs (must be byte-identical)"
+                )
+
+
+def _poll_job(base: str, job_id: str, deadline: float) -> str:
+    while True:
+        status, raw, _ = _request("GET", f"{base}/jobs/{job_id}")
+        if status != 200:
+            return f"http {status}"
+        state = json.loads(raw)["state"]
+        if state in ("done", "failed"):
+            return state
+        if time.monotonic() > deadline:
+            return f"timeout in state {state}"
+        time.sleep(0.05)
+
+
+def _audit(cfg: SoakConfig, service: JobService, base: str, report: SoakReport) -> None:
+    """Phase four: drain, probe 503, cross-check ledgers vs counters."""
+    service.drain(timeout=cfg.poll_timeout_s)
+    status, _, _ = _request(
+        "POST", f"{base}/jobs", _pool_bodies(cfg)[0], "drain-probe"
+    )
+    if status != 503:
+        report.problems.append(f"post-drain submission got {status}, expected 503")
+    report.rejected_503 += 1
+    report.attempts += 1
+
+    _, raw, _ = _request("GET", f"{base}/metrics")
+    metrics = json.loads(raw)
+    counters = metrics["counters"]
+    report.server_counters = counters
+    report.jobs = metrics["jobs"]
+    report.queue = metrics["queue"]
+
+    # the client-side ledger and the server's counters must agree exactly
+    checks = (
+        ("service.submitted", report.attempts),
+        ("service.rejected_400", report.rejected_400),
+        ("service.cache_hits", report.cache_hits),
+        ("service.coalesced", report.coalesced),
+        ("service.accepted", report.accepted),
+        ("service.rejected_503", report.rejected_503),
+    )
+    for name, observed in checks:
+        if counters.get(name, 0) != observed:
+            report.problems.append(
+                f"{name}={counters.get(name, 0)} but clients observed {observed}"
+            )
+    server_429 = (
+        counters.get("service.rejected_429_rate", 0)
+        + counters.get("service.rejected_429_queue", 0)
+    )
+    if server_429 != report.rejected_429:
+        report.problems.append(
+            f"server 429s={server_429} but clients observed {report.rejected_429}"
+        )
+    if report.rejected_429 < 1:
+        report.problems.append(
+            "flooder produced no 429s (rate limiting never engaged)"
+        )
+    if report.rejected_400 != (cfg.clients * cfg.malformed_per_client):
+        report.problems.append(
+            f"expected {cfg.clients * cfg.malformed_per_client} 400s, "
+            f"observed {report.rejected_400}"
+        )
+    if counters.get("service.failed", 0):
+        report.problems.append(
+            f"service.failed={counters['service.failed']} (all jobs must succeed)"
+        )
+    if counters.get("service.completed", 0) != report.accepted:
+        report.problems.append(
+            f"service.completed={counters.get('service.completed', 0)} but "
+            f"{report.accepted} jobs were accepted (lost or duplicated work)"
+        )
+    if report.jobs.get("queued", 0) or report.jobs.get("running", 0):
+        report.problems.append(
+            f"jobs still pending after drain: {report.jobs}"
+        )
+    if report.queue.get("pushed") != report.queue.get("popped"):
+        report.problems.append(
+            f"queue pushed={report.queue.get('pushed')} != "
+            f"popped={report.queue.get('popped')} (dropped work)"
+        )
+    if report.queue.get("peak_depth", 0) > report.queue.get("maxsize", 0):
+        report.problems.append(
+            f"queue peak depth {report.queue.get('peak_depth')} exceeded "
+            f"bound {report.queue.get('maxsize')}"
+        )
+    if report.duplicate_groups < 1:
+        report.problems.append("no duplicate groups formed (soak proved nothing)")
+
+
+def format_soak(report: SoakReport) -> str:
+    """Human-readable soak summary."""
+    cfg = report.config
+    lines = [
+        "Job-service soak — concurrent clients vs the admission pipeline",
+        "",
+        f"  clients={cfg.clients}+flooder  workers={cfg.workers}  "
+        f"queue_depth={cfg.queue_depth}  rate={cfg.rate_per_s}/s burst={cfg.burst}",
+        f"  attempts={report.attempts}  wall={report.wall_s:.1f}s",
+        "",
+        f"  {'accepted (new jobs)':<28}{report.accepted:>6}",
+        f"  {'cache hits':<28}{report.cache_hits:>6}",
+        f"  {'coalesced onto in-flight':<28}{report.coalesced:>6}",
+        f"  {'rejected 400 (malformed)':<28}{report.rejected_400:>6}",
+        f"  {'rejected 429 (over limit)':<28}{report.rejected_429:>6}",
+        f"  {'rejected 503 (draining)':<28}{report.rejected_503:>6}",
+        f"  {'distinct jobs':<28}{report.unique_jobs:>6}",
+        f"  {'duplicate groups verified':<28}{report.duplicate_groups:>6}"
+        "  (byte-identical reports)",
+        f"  {'queue peak depth':<28}{report.queue.get('peak_depth', 0):>6}"
+        f"  (bound {report.queue.get('maxsize', 0)})",
+        "",
+    ]
+    if report.ok:
+        lines.append("PASS: ledgers balance, no lost jobs, duplicates byte-identical")
+    else:
+        lines.append(f"FAIL: {len(report.problems)} problem(s)")
+        lines.extend(f"  PROBLEM: {p}" for p in report.problems)
+    return "\n".join(lines)

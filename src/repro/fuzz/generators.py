@@ -21,6 +21,7 @@ rather than model an attack the receiver could see.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import asdict, dataclass, field
 
@@ -45,7 +46,45 @@ MUTATIONS = (
 #: auth/enforcement combination the generator can draw.
 INJECTION_KINDS = ("random_pkey", "bad_qkey", "guessed_tag", "truncated")
 
-SCENARIO_SCHEMA = "repro.fuzz_scenario/1"
+#: Schema identity: ``<name>/<version>``.  The version is the compatibility
+#: contract for everything that persists or transmits scenarios — corpus
+#: entries, ``repro-sim fuzz --replay`` files, and the job service's POST
+#: body.  Bump :data:`SCENARIO_SCHEMA_VERSION` (and extend
+#: :data:`SUPPORTED_SCHEMA_VERSIONS` if the old shape stays readable)
+#: whenever :class:`Scenario`'s serialized shape changes.
+SCENARIO_SCHEMA_NAME = "repro.fuzz_scenario"
+SCENARIO_SCHEMA_VERSION = 1
+SUPPORTED_SCHEMA_VERSIONS = (1,)
+SCENARIO_SCHEMA = f"{SCENARIO_SCHEMA_NAME}/{SCENARIO_SCHEMA_VERSION}"
+
+
+class ScenarioValidationError(ValueError):
+    """A scenario dict failed strict validation (the service's 400 path)."""
+
+
+def parse_schema_version(schema: object) -> int:
+    """Extract and check the version from a ``name/version`` schema string.
+
+    Raises :class:`ScenarioValidationError` on anything but a supported
+    ``repro.fuzz_scenario/<int>`` spelling.
+    """
+    if not isinstance(schema, str):
+        raise ScenarioValidationError(
+            f"schema must be a string, got {type(schema).__name__}"
+        )
+    name, sep, version_text = schema.partition("/")
+    if not sep or name != SCENARIO_SCHEMA_NAME or not version_text.isdigit():
+        raise ScenarioValidationError(
+            f"unknown scenario schema {schema!r} (expected "
+            f"'{SCENARIO_SCHEMA_NAME}/<version>')"
+        )
+    version = int(version_text)
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ScenarioValidationError(
+            f"unsupported scenario schema version {version} "
+            f"(supported: {list(SUPPORTED_SCHEMA_VERSIONS)})"
+        )
+    return version
 
 
 @dataclass(frozen=True)
@@ -124,10 +163,25 @@ class Scenario:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     @classmethod
-    def from_dict(cls, d: dict) -> "Scenario":
-        schema = d.get("schema", SCENARIO_SCHEMA)
-        if schema != SCENARIO_SCHEMA:
-            raise ValueError(f"unknown scenario schema {schema!r}")
+    def from_dict(cls, d: dict, strict: bool = False) -> "Scenario":
+        """Rebuild a scenario from its :meth:`to_dict` form.
+
+        The default mode is the tolerant corpus/replay reader: a missing
+        ``schema`` field is assumed current and unknown keys are ignored.
+        ``strict=True`` is the wire-facing contract the job service's
+        POST handler uses: the schema-version field is mandatory, every
+        unknown key (top-level, config, or schedule entry) is rejected,
+        and field types are checked — all failures raise
+        :class:`ScenarioValidationError` (a ``ValueError``), which the
+        API maps to HTTP 400.
+        """
+        if strict:
+            _validate_scenario_dict(d)
+        else:
+            schema = d.get("schema", SCENARIO_SCHEMA)
+            parse_schema_version(schema)
+        if not isinstance(d.get("name"), str):
+            raise ScenarioValidationError("'name' must be a string")
         return cls(
             name=d["name"],
             config=dict(d.get("config", {})),
@@ -138,8 +192,8 @@ class Scenario:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "Scenario":
-        return cls.from_dict(json.loads(text))
+    def from_json(cls, text: str, strict: bool = False) -> "Scenario":
+        return cls.from_dict(json.loads(text), strict=strict)
 
     def summary(self) -> str:
         """One deterministic line describing the scenario (CLI output)."""
@@ -152,6 +206,129 @@ class Scenario:
             f"+{len(self.switch_crashes)} tampers={len(self.tampers)}"
             f" injections={len(self.injections)}"
         )
+
+
+# -- strict wire-format validation -------------------------------------------
+
+#: Top-level keys a serialized scenario may carry (exactly ``to_dict``'s).
+_TOP_LEVEL_KEYS = frozenset(
+    ("schema", "name", "config", "link_faults", "switch_crashes", "tampers",
+     "injections")
+)
+
+#: Schedule-entry shape: dataclass, {field: kind}, required-field set.
+#: Kinds: ``"str"``, ``"int"``, ``"number"``; a ``?`` suffix also admits
+#: ``null``.  (Booleans are deliberately *not* numbers here — JSON ``true``
+#: in a time field is a client bug, not a timestamp.)
+_SCHEDULE_SPECS: dict[str, tuple[type, dict[str, str], frozenset]] = {
+    "link_faults": (
+        LinkFault,
+        {"link": "str", "fail_us": "number", "restore_us": "number?"},
+        frozenset(("link", "fail_us")),
+    ),
+    "switch_crashes": (
+        SwitchCrash,
+        {"x": "int", "y": "int", "at_us": "number", "restore_us": "number?"},
+        frozenset(("x", "y", "at_us")),
+    ),
+    "tampers": (
+        PacketTamper,
+        {"link": "str", "ordinal": "int", "mutation": "str", "param": "int"},
+        frozenset(("link", "ordinal", "mutation", "param")),
+    ),
+    "injections": (
+        ForgedInject,
+        {"src_lid": "int", "dst_lid": "int", "at_us": "number", "kind": "str",
+         "param": "int"},
+        frozenset(("src_lid", "dst_lid", "at_us", "kind", "param")),
+    ),
+}
+
+
+def _kind_ok(value: object, kind: str) -> bool:
+    if kind.endswith("?"):
+        if value is None:
+            return True
+        kind = kind[:-1]
+    if kind == "str":
+        return isinstance(value, str)
+    if kind == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    raise AssertionError(f"unknown kind {kind!r}")
+
+
+def _validate_scenario_dict(d: object) -> None:
+    """Strict structural validation of a wire-format scenario dict.
+
+    Raises :class:`ScenarioValidationError` with a client-actionable
+    message on the first problem found.  Semantic config validation
+    (value ranges, mode combinations) still happens in
+    :meth:`Scenario.build_config` — callers on the 400 path must run
+    both.
+    """
+    if not isinstance(d, dict):
+        raise ScenarioValidationError("scenario payload must be a JSON object")
+    unknown = set(map(str, d)) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise ScenarioValidationError(
+            f"unknown top-level keys: {sorted(unknown)}"
+        )
+    if "schema" not in d:
+        raise ScenarioValidationError(
+            f"missing required 'schema' field (current: {SCENARIO_SCHEMA!r})"
+        )
+    parse_schema_version(d["schema"])
+    name = d.get("name")
+    if not isinstance(name, str) or not name:
+        raise ScenarioValidationError("'name' must be a non-empty string")
+    config = d.get("config", {})
+    if not isinstance(config, dict):
+        raise ScenarioValidationError("'config' must be a JSON object")
+    known_fields = {f.name for f in dataclasses.fields(SimConfig)}
+    unknown_cfg = set(map(str, config)) - known_fields
+    if unknown_cfg:
+        raise ScenarioValidationError(
+            f"unknown config keys: {sorted(unknown_cfg)}"
+        )
+    for key, value in config.items():
+        if isinstance(value, (list, tuple)):
+            if not all(isinstance(v, (str, int, float, bool)) for v in value):
+                raise ScenarioValidationError(
+                    f"config.{key} list entries must be JSON scalars"
+                )
+        elif not isinstance(value, (str, int, float, bool)) and value is not None:
+            raise ScenarioValidationError(
+                f"config.{key} must be a JSON scalar, got "
+                f"{type(value).__name__}"
+            )
+    for list_key, (_cls, kinds, required) in _SCHEDULE_SPECS.items():
+        entries = d.get(list_key, ())
+        if not isinstance(entries, (list, tuple)):
+            raise ScenarioValidationError(f"'{list_key}' must be a list")
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise ScenarioValidationError(
+                    f"{list_key}[{i}] must be a JSON object"
+                )
+            unknown_entry = set(map(str, entry)) - set(kinds)
+            if unknown_entry:
+                raise ScenarioValidationError(
+                    f"{list_key}[{i}]: unknown keys {sorted(unknown_entry)}"
+                )
+            missing = required - set(entry)
+            if missing:
+                raise ScenarioValidationError(
+                    f"{list_key}[{i}]: missing required keys {sorted(missing)}"
+                )
+            for field_name, value in entry.items():
+                if not _kind_ok(value, kinds[field_name]):
+                    raise ScenarioValidationError(
+                        f"{list_key}[{i}].{field_name} must be "
+                        f"{kinds[field_name].rstrip('?')}"
+                        + (" or null" if kinds[field_name].endswith("?") else "")
+                    )
 
 
 def mesh_link_names(width: int, height: int) -> list[str]:

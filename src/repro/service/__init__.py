@@ -1,0 +1,33 @@
+"""Simulation-as-a-service — a dependency-free job service over the
+simulator (DESIGN.md §3i).
+
+Clients POST a fuzz-schema :class:`~repro.fuzz.generators.Scenario` JSON,
+the request passes an admission gate (per-client token bucket + bounded
+queue depth), lands in a FIFO job queue drained by a configurable worker
+pool, and becomes pollable/fetchable::
+
+    POST /jobs                  submit (202 queued / 200 done-from-cache)
+    GET  /jobs/<id>             status: queued -> running -> done/failed
+    GET  /jobs/<id>/report      deterministic report JSON
+    GET  /jobs/<id>/trace       the run's trace events
+    GET  /metrics, /healthz, /version
+
+Results are content-addressed into the existing ``.sweep_cache/`` under
+the same key machinery the sweep layer uses, so a repeated submission
+from *any* client is answered instantly with ``"cache_hit": true`` —
+the cache is a cross-user memo table.
+
+Layers (admission -> queue -> workers -> jobstore -> cache):
+
+* :mod:`repro.service.ratelimit` — per-client token buckets.
+* :mod:`repro.service.jobqueue`  — bounded FIFO with depth accounting.
+* :mod:`repro.service.jobstore`  — job records + the content-addressed
+  result cache shared with :mod:`repro.sim.sweep`.
+* :mod:`repro.service.workers`   — worker pool of subprocess runners.
+* :mod:`repro.service.api`       — the HTTP layer (stdlib
+  ``http.server``, embedding the metrics-server payload machinery).
+"""
+
+from repro.service.api import JobService, ServiceConfig
+
+__all__ = ["JobService", "ServiceConfig"]

@@ -1,0 +1,103 @@
+"""Canonical malformed-submission fixtures — one list, three consumers.
+
+The unit tests for :meth:`Scenario.from_dict(strict=True)
+<repro.fuzz.generators.Scenario.from_dict>`, the API-handler tests, and
+the soak harness's "malformed" client all draw from this catalogue, so
+the 400 contract is pinned in exactly one place: every entry must be
+rejected with HTTP 400 and an error message containing ``fragment``.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _j(d: dict) -> bytes:
+    return json.dumps(d).encode()
+
+
+_VALID_CONFIG = {
+    "mesh_width": 2,
+    "mesh_height": 2,
+    "num_partitions": 2,
+    "sim_time_us": 50.0,
+    "warmup_us": 0.0,
+    "keep_samples": False,
+}
+
+
+def valid_submission(name: str = "fixture-valid", seed: int = 1) -> dict:
+    """A minimal scenario dict every fixture below is a corruption of."""
+    return {
+        "schema": "repro.fuzz_scenario/1",
+        "name": name,
+        "config": dict(_VALID_CONFIG, seed=seed),
+    }
+
+
+#: ``(label, body_bytes, error_fragment)`` — each must produce HTTP 400
+#: with *error_fragment* in the error message.
+INVALID_SUBMISSIONS: tuple[tuple[str, bytes, str], ...] = (
+    ("not_json", b"{nope", "not valid JSON"),
+    ("not_object", b'"a string"', "must be a JSON object"),
+    ("missing_schema", _j({"name": "x", "config": dict(_VALID_CONFIG)}),
+     "missing required 'schema'"),
+    ("wrong_schema_name",
+     _j(dict(valid_submission(), schema="other.thing/1")),
+     "unknown scenario schema"),
+    ("unsupported_version",
+     _j(dict(valid_submission(), schema="repro.fuzz_scenario/99")),
+     "unsupported scenario schema version"),
+    ("nonstring_schema", _j(dict(valid_submission(), schema=7)),
+     "schema must be a string"),
+    ("unknown_top_key", _j(dict(valid_submission(), surprise=1)),
+     "unknown top-level keys"),
+    ("bad_name", _j(dict(valid_submission(), name=7)),
+     "'name' must be a non-empty string"),
+    ("config_not_object", _j(dict(valid_submission(), config=[1, 2])),
+     "'config' must be a JSON object"),
+    ("unknown_config_key",
+     _j(dict(valid_submission(),
+             config=dict(_VALID_CONFIG, warp_speed=9))),
+     "unknown config keys"),
+    ("config_nested_object",
+     _j(dict(valid_submission(),
+             config=dict(_VALID_CONFIG, seed={"deep": 1}))),
+     "must be a JSON scalar"),
+    ("schedule_not_list", _j(dict(valid_submission(), link_faults=5)),
+     "'link_faults' must be a list"),
+    ("schedule_entry_not_object",
+     _j(dict(valid_submission(), link_faults=["zap"])),
+     "link_faults[0] must be a JSON object"),
+    ("schedule_unknown_key",
+     _j(dict(valid_submission(),
+             link_faults=[{"link": "a->b", "fail_us": 1.0, "zap": True}])),
+     "unknown keys"),
+    ("schedule_missing_key",
+     _j(dict(valid_submission(), tampers=[{"link": "a->b"}])),
+     "missing required keys"),
+    ("schedule_wrong_type",
+     _j(dict(valid_submission(),
+             link_faults=[{"link": "a->b", "fail_us": "soon"}])),
+     "link_faults[0].fail_us must be number"),
+    ("bool_is_not_int",
+     _j(dict(valid_submission(),
+             injections=[{"src_lid": True, "dst_lid": 2, "at_us": 1.0,
+                          "kind": "bad_qkey", "param": 3}])),
+     "injections[0].src_lid must be int"),
+    ("semantic_bad_enum",
+     _j(dict(valid_submission(),
+             config=dict(_VALID_CONFIG, enforcement="quantum"))),
+     "invalid config"),
+    ("semantic_out_of_range",
+     _j(dict(valid_submission(),
+             config=dict(_VALID_CONFIG, num_partitions=99))),
+     "invalid config"),
+)
+
+
+def oversized_submission(max_body_bytes: int) -> bytes:
+    """An otherwise-valid submission padded past *max_body_bytes* (the
+    name field carries the bulk) — exercises the size gate specifically."""
+    payload = valid_submission(name="x" * (max_body_bytes + 1024))
+    return _j(payload)

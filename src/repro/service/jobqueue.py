@@ -1,0 +1,100 @@
+"""Bounded FIFO job queue — the buffer between admission and the workers.
+
+Depth is the second half of the admission story: the token bucket bounds
+per-client *rate*, the queue bound caps total *backlog* (and therefore
+service memory) regardless of how many distinct clients show up.  A full
+queue rejects the push — the API layer turns that into HTTP 429 with a
+``Retry-After`` sized from the queue's drain rate.
+
+The queue never drops an accepted entry: ``close()`` stops intake but
+lets workers drain what was admitted (the graceful-shutdown contract).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+
+class QueueClosed(Exception):
+    """Raised by :meth:`BoundedJobQueue.push` after :meth:`close`."""
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`BoundedJobQueue.push` when depth == maxsize."""
+
+
+class BoundedJobQueue:
+    """Thread-safe FIFO with a hard depth bound and peak accounting."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._items: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._peak_depth = 0
+        self._pushed = 0
+        self._popped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def peak_depth(self) -> int:
+        """High-water depth mark (the bounded-memory evidence)."""
+        with self._lock:
+            return self._peak_depth
+
+    @property
+    def pushed(self) -> int:
+        with self._lock:
+            return self._pushed
+
+    @property
+    def popped(self) -> int:
+        with self._lock:
+            return self._popped
+
+    def push(self, item: Any) -> None:
+        """Append *item*; raises :class:`QueueFull` / :class:`QueueClosed`."""
+        with self._lock:
+            if self._closed:
+                raise QueueClosed
+            if len(self._items) >= self.maxsize:
+                raise QueueFull
+            self._items.append(item)
+            self._pushed += 1
+            self._peak_depth = max(self._peak_depth, len(self._items))
+            self._not_empty.notify()
+
+    def pop(self, timeout: float | None = None) -> Any | None:
+        """Pop FIFO-oldest; ``None`` on timeout or when closed *and* empty.
+
+        Workers loop on ``pop(timeout=...)`` — a ``None`` return with the
+        queue closed is the drain-complete signal.
+        """
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            item = self._items.popleft()
+            self._popped += 1
+            return item
+
+    def close(self) -> None:
+        """Stop intake; queued items remain poppable until drained."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()

@@ -1,0 +1,102 @@
+"""Per-client admission control — token buckets in front of the job queue.
+
+The service's resource-exhaustion defense mirrors the paper's network
+argument at the serving layer: scarce capacity (simulation workers) sits
+behind an admission gate so one aggressive client cannot starve the rest.
+Each client id gets an independent :class:`TokenBucket`; a submission
+spends one token, an empty bucket means HTTP 429 with a ``Retry-After``
+hint derived from the refill rate.
+
+The clock is injectable (``time.monotonic`` by default) so tests drive
+admission decisions deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Starts full (a fresh client gets its burst immediately).  Not
+    thread-safe by itself — :class:`ClientRateLimiter` serializes access.
+    """
+
+    def __init__(self, rate: float, burst: float, stamp: float = 0.0) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate  #: tokens added per second.
+        self.burst = burst  #: bucket capacity (maximum stored tokens).
+        self.stamp = stamp  #: clock reading of the last refill.
+        self._tokens = float(burst)
+
+    @property
+    def tokens(self) -> float:
+        """Current fill level (admission mechanism state, not a stat)."""
+        return self._tokens
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self.stamp = now
+
+    def try_take(self, now: float, n: float = 1.0) -> tuple[bool, float]:
+        """Spend *n* tokens at clock reading *now*.
+
+        Returns ``(True, 0.0)`` on success or ``(False, retry_after_s)``
+        where ``retry_after_s`` is how long until the bucket holds *n*
+        tokens again.
+        """
+        self._refill(now)
+        if self._tokens >= n:
+            self._tokens -= n
+            return True, 0.0
+        return False, (n - self._tokens) / self.rate
+
+
+class ClientRateLimiter:
+    """One :class:`TokenBucket` per client id, behind one lock.
+
+    ``admit(client_id)`` is the whole API: it returns ``(ok,
+    retry_after_s)``.  Buckets are created on first sight of a client id
+    and never expire — the id space is operator-facing (header-supplied
+    strings), and one idle bucket is ~100 bytes; a service restart clears
+    them.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._rate = float(rate_per_s)
+        self._burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, client_id: str) -> tuple[bool, int]:
+        """Spend one token of *client_id*'s bucket.
+
+        Returns ``(True, 0)`` or ``(False, retry_after_s)`` with the
+        retry hint rounded up to a whole second (the ``Retry-After``
+        header is integral).
+        """
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(rate=self._rate, burst=self._burst, stamp=now)
+                self._buckets[client_id] = bucket
+            ok, retry_after = bucket.try_take(now)
+        return ok, (0 if ok else max(1, math.ceil(retry_after)))
+
+    def clients(self) -> int:
+        """Distinct client ids seen so far."""
+        with self._lock:
+            return len(self._buckets)

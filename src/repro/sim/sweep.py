@@ -52,6 +52,7 @@ import itertools
 import json
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -170,8 +171,12 @@ class RunCache:
     def put(self, config: SimConfig, report: SimReport) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         target = self.path_for(config)
-        # write-then-rename so a concurrent reader never sees a torn file
-        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        # write-then-rename so a concurrent reader never sees a torn file;
+        # pid+thread in the tmp name so same-key writers (processes OR
+        # threads) never clobber each other's half-written staging file
+        tmp = target.with_name(
+            f"{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         try:
             with open(tmp, "wb") as f:
                 pickle.dump(report, f, protocol=pickle.HIGHEST_PROTOCOL)

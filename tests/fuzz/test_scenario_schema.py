@@ -1,0 +1,94 @@
+"""Scenario wire schema: versioning, round-trips, strict validation.
+
+The strict path is the job service's 400 contract; the fixtures are the
+shared catalogue in :mod:`repro.service.badinput`, so the unit-level
+expectations here and the HTTP-level expectations in the service tests
+can never drift apart.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz.generators import (
+    SCENARIO_SCHEMA,
+    Scenario,
+    ScenarioValidationError,
+    generate_scenario,
+    parse_schema_version,
+)
+from repro.service.badinput import INVALID_SUBMISSIONS
+
+#: Fixtures whose bodies decode to JSON at all (the undecodable one can
+#: only be exercised at the HTTP layer, where json.loads runs first).
+_DICT_FIXTURES = [
+    (label, json.loads(body), fragment)
+    for label, body, fragment in INVALID_SUBMISSIONS
+    if label != "not_json"
+]
+
+
+class TestSchemaVersion:
+    def test_current_schema_constant(self):
+        assert SCENARIO_SCHEMA == "repro.fuzz_scenario/1"
+        assert parse_schema_version(SCENARIO_SCHEMA) == 1
+
+    @pytest.mark.parametrize("bad", [
+        7, None, "repro.fuzz_scenario", "other/1", "repro.fuzz_scenario/x",
+        "repro.fuzz_scenario/99",
+    ])
+    def test_bad_schema_spellings_raise(self, bad):
+        with pytest.raises(ScenarioValidationError):
+            parse_schema_version(bad)
+
+    def test_to_dict_stamps_the_schema(self):
+        scenario = generate_scenario(0, 0)
+        assert scenario.to_dict()["schema"] == SCENARIO_SCHEMA
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("index", range(4))
+    def test_generated_scenarios_round_trip_strictly(self, index):
+        """Everything the generator emits must survive its own wire
+        format under the *strict* reader — the service accepts any
+        scenario the fuzzer can produce."""
+        scenario = generate_scenario(3, index)
+        for strict in (False, True):
+            again = Scenario.from_dict(
+                json.loads(scenario.to_json()), strict=strict
+            )
+            assert again == scenario
+
+    def test_missing_schema_tolerated_only_when_not_strict(self):
+        d = generate_scenario(0, 1).to_dict()
+        del d["schema"]
+        assert Scenario.from_dict(d)  # corpus/replay reader shrugs
+        with pytest.raises(ScenarioValidationError, match="missing required"):
+            Scenario.from_dict(d, strict=True)
+
+    def test_unknown_keys_tolerated_only_when_not_strict(self):
+        d = generate_scenario(0, 2).to_dict()
+        d["future_field"] = {"nested": True}
+        assert Scenario.from_dict(d)
+        with pytest.raises(ScenarioValidationError, match="unknown top-level"):
+            Scenario.from_dict(d, strict=True)
+
+
+class TestStrictRejection:
+    @pytest.mark.parametrize(
+        "label,payload,fragment",
+        _DICT_FIXTURES,
+        ids=[label for label, _, _ in _DICT_FIXTURES],
+    )
+    def test_fixture_catalogue_rejected_with_actionable_message(
+        self, label, payload, fragment
+    ):
+        if label.startswith("semantic_"):
+            # structurally valid; rejected later by SimConfig.validate()
+            scenario = Scenario.from_dict(payload, strict=True)
+            with pytest.raises((ValueError, TypeError)):
+                scenario.build_config()
+            return
+        with pytest.raises(ScenarioValidationError) as exc:
+            Scenario.from_dict(payload, strict=True)
+        assert fragment in str(exc.value)

@@ -1,0 +1,68 @@
+"""Bounded FIFO queue: depth bound, close semantics, accounting."""
+
+import threading
+
+import pytest
+
+from repro.service.jobqueue import BoundedJobQueue, QueueClosed, QueueFull
+
+
+class TestBounds:
+    def test_fifo_order(self):
+        q = BoundedJobQueue(maxsize=4)
+        for item in "abcd":
+            q.push(item)
+        assert [q.pop(timeout=0.1) for _ in range(4)] == list("abcd")
+
+    def test_full_queue_rejects_push(self):
+        q = BoundedJobQueue(maxsize=2)
+        q.push(1)
+        q.push(2)
+        with pytest.raises(QueueFull):
+            q.push(3)
+        # popping frees a slot
+        assert q.pop(timeout=0.1) == 1
+        q.push(3)
+
+    def test_peak_depth_and_counts(self):
+        q = BoundedJobQueue(maxsize=8)
+        for i in range(5):
+            q.push(i)
+        for _ in range(5):
+            q.pop(timeout=0.1)
+        q.push("late")
+        assert q.peak_depth == 5
+        assert q.pushed == 6
+        assert q.popped == 5
+        assert len(q) == 1
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(maxsize=0)
+
+
+class TestCloseSemantics:
+    def test_close_stops_intake_but_drains_backlog(self):
+        q = BoundedJobQueue(maxsize=4)
+        q.push("queued-before-close")
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.push("rejected")
+        # the accepted item is still served (the no-dropped-jobs contract)
+        assert q.pop(timeout=0.1) == "queued-before-close"
+        assert q.pop(timeout=0.1) is None  # closed + empty = drain complete
+
+    def test_pop_timeout_on_empty_open_queue(self):
+        q = BoundedJobQueue(maxsize=1)
+        assert q.pop(timeout=0.01) is None
+        assert not q.closed
+
+    def test_close_wakes_blocked_poppers(self):
+        q = BoundedJobQueue(maxsize=1)
+        results = []
+        t = threading.Thread(target=lambda: results.append(q.pop(timeout=5)))
+        t.start()
+        q.close()
+        t.join(timeout=2)
+        assert not t.is_alive()
+        assert results == [None]

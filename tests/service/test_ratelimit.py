@@ -1,0 +1,77 @@
+"""Token-bucket admission: deterministic via an injected clock."""
+
+import pytest
+
+from repro.service.ratelimit import ClientRateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.try_take(0.0)[0] for _ in range(3)] == [True] * 3
+        ok, retry = bucket.try_take(0.0)
+        assert not ok
+        assert retry == pytest.approx(1.0)  # 1 token at 1 token/s
+
+    def test_refills_at_rate_capped_at_burst(self):
+        bucket = TokenBucket(rate=2.0, burst=4.0)
+        for _ in range(4):
+            bucket.try_take(0.0)
+        ok, _ = bucket.try_take(1.0)  # 2 tokens refilled by t=1
+        assert ok
+        ok, _ = bucket.try_take(1.0)
+        assert ok
+        assert not bucket.try_take(1.0)[0]
+        # a long idle period never overfills past burst
+        bucket.try_take(1000.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_clock_going_backwards_is_harmless(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, stamp=10.0)
+        ok, _ = bucket.try_take(5.0)
+        assert ok
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestClientRateLimiter:
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate_per_s=1.0, burst=2, clock=clock)
+        assert limiter.admit("a") == (True, 0)
+        assert limiter.admit("a") == (True, 0)
+        ok, retry = limiter.admit("a")
+        assert not ok
+        # b's bucket is untouched by a's exhaustion
+        assert limiter.admit("b") == (True, 0)
+        assert limiter.clients() == 2
+
+    def test_retry_after_is_integral_and_at_least_one(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate_per_s=10.0, burst=1, clock=clock)
+        limiter.admit("a")
+        ok, retry = limiter.admit("a")
+        assert not ok
+        assert isinstance(retry, int)
+        assert retry >= 1  # 0.1 s until refill still rounds up to 1
+
+    def test_refill_readmits(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate_per_s=1.0, burst=1, clock=clock)
+        assert limiter.admit("a")[0]
+        assert not limiter.admit("a")[0]
+        clock.now += 1.0
+        assert limiter.admit("a")[0]

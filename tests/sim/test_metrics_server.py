@@ -85,12 +85,26 @@ class TestEndpoints:
         with MetricsServer(engine, registry) as server:
             assert get_json(server.url + "/healthz") == {"ok": True}
 
-    def test_unknown_path_is_404(self, sim):
+    def test_unknown_path_is_404_with_json_body(self, sim):
         engine, registry = sim
         with MetricsServer(engine, registry) as server:
             with pytest.raises(urllib.error.HTTPError) as exc:
                 get_json(server.url + "/nope")
             assert exc.value.code == 404
+            body = json.loads(exc.value.read())
+            assert body["error"] == "unknown endpoint"
+            assert body["status"] == 404
+            assert body["path"] == "/nope"
+
+    def test_version_endpoint(self, sim):
+        from repro import __version__
+
+        engine, registry = sim
+        with MetricsServer(engine, registry) as server:
+            assert get_json(server.url + "/version") == {
+                "name": "repro",
+                "version": __version__,
+            }
 
 
 class TestLifecycle:
@@ -123,3 +137,19 @@ class TestLifecycle:
         engine, registry = sim
         with MetricsServer(engine, registry) as server:
             assert server.start() == server.url
+
+    def test_restart_after_stop_keeps_the_resolved_port(self, sim):
+        """stop()/start() must re-bind the same port even when the first
+        start resolved an ephemeral one — restarts keep a stable URL."""
+        engine, registry = sim
+        server = MetricsServer(engine, registry)
+        url = server.start()
+        port = server.port
+        server.stop()
+        assert not server.running
+        try:
+            assert server.start() == url
+            assert server.port == port
+            assert get_json(url + "/healthz") == {"ok": True}
+        finally:
+            server.stop()

@@ -1,9 +1,19 @@
 """Sweep driver: grid expansion, execution, metric aggregation."""
 
+import threading
+
 import pytest
 
 from repro.sim.config import SimConfig
-from repro.sim.sweep import Sweep, bloom_fp_axis, network_us, queuing_us, total_us
+from repro.sim.runner import SimReport
+from repro.sim.sweep import (
+    RunCache,
+    Sweep,
+    bloom_fp_axis,
+    network_us,
+    queuing_us,
+    total_us,
+)
 
 
 @pytest.fixture
@@ -193,3 +203,44 @@ class TestTable:
         sweep.run()
         rows = sweep.table({"q": queuing_us("best_effort")})
         assert rows[1]["q"] >= rows[0]["q"]
+
+
+class TestCacheConcurrency:
+    """The tmp-file + rename contract under contention: two writers racing
+    the same key both succeed, and a concurrent reader never observes a
+    torn or partial entry — it sees a miss or a complete report."""
+
+    def test_racing_writers_same_key_no_torn_reads(self, base, tmp_path):
+        cache = RunCache(root=tmp_path)
+        report = SimReport(
+            config=base, stats={}, drops={}, delivered=42, attack_windows=[],
+        )
+        stop = threading.Event()
+        torn: list = []
+
+        def writer():
+            while not stop.is_set():
+                cache.put(base, report)
+
+        def reader():
+            # a fresh RunCache per read keeps hit/miss bookkeeping private
+            while not stop.is_set():
+                loaded = RunCache(root=tmp_path).get(base)
+                if loaded is not None and loaded.delivered != 42:
+                    torn.append(loaded)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert torn == []
+        final = RunCache(root=tmp_path).get(base)
+        assert final is not None
+        assert final.delivered == 42
+        # no leftover temp files: every write either renamed or cleaned up
+        stragglers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert stragglers == []

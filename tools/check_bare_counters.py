@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Lint: forbid new bare ``self.<stat> += n`` counters in iba/ and core/.
+"""Lint: forbid bare ``self.<stat> += n`` counters in iba/, core/, service/.
 
 Every statistic in the data/control path must live in the
 :class:`repro.sim.counters.CounterRegistry` (created via
@@ -17,7 +17,7 @@ Allowed and therefore ignored:
 
 Usage::
 
-    python tools/check_bare_counters.py            # checks src/repro/{iba,core}
+    python tools/check_bare_counters.py            # checks src/repro/{iba,core,service}
     python tools/check_bare_counters.py PATH...    # explicit files/dirs
 """
 
@@ -28,7 +28,7 @@ import sys
 from pathlib import Path
 
 #: Directories under src/repro that must not grow bare counters.
-DEFAULT_SCOPES = ("iba", "core")
+DEFAULT_SCOPES = ("iba", "core", "service")
 
 
 def find_bare_counters(path: Path) -> list[tuple[int, str]]:
