@@ -42,6 +42,24 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument("--keymgmt", choices=["none", "partition", "qp"], default="none")
     p.add_argument("--replay-protection", action="store_true")
+    p.add_argument(
+        "--topology", choices=["mesh", "fat_tree"], default="mesh",
+        help="fabric shape (fat_tree required for --shards > 1)",
+    )
+    p.add_argument(
+        "--fat-tree-k", type=int, default=4,
+        help="fat-tree arity (hosts = k^3/4); ignored for mesh",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="space-partition the run across N shard engines "
+        "(must divide --fat-tree-k; see DESIGN.md 3j)",
+    )
+    p.add_argument(
+        "--shard-transport", choices=["inline", "process"], default="inline",
+        help="inline = all shard engines in this process; "
+        "process = one forked worker per shard",
+    )
 
 
 def _add_trace(sub: argparse._SubParsersAction) -> None:
@@ -170,6 +188,33 @@ def _add_bench_engine(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument(
         "--output", default="BENCH_engine.json", metavar="PATH",
+        help="JSON artifact path ('-' = skip writing)",
+    )
+
+
+def _add_bench_shard(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "bench-shard",
+        help="sharded-engine scaling benchmark: k=16 DoS at 1/2/4/8 shards",
+        description=(
+            "Times the k=16 fat-tree (1024 HCAs) SIF DoS run single-process "
+            "and space-partitioned across 2/4/8 shards (conservative-"
+            "lookahead synchronization), reporting critical-path speedup "
+            "(T1_run / max per-shard busy) plus a process-transport "
+            "bit-exactness validation row, and writes the results as JSON "
+            "(schema repro.bench_shard/1)."
+        ),
+    )
+    p.add_argument(
+        "--sim-time-us", type=float, default=200.0,
+        help="simulated horizon of the DoS leg",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="k=4 at 1/2 shards on a short horizon: validates the harness, not perf",
+    )
+    p.add_argument(
+        "--output", default="BENCH_shard.json", metavar="PATH",
         help="JSON artifact path ('-' = skip writing)",
     )
 
@@ -338,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     table4.add_argument("--no-measure", action="store_true", help="skip Python timing")
     _add_bench(sub)
     _add_bench_engine(sub)
+    _add_bench_shard(sub)
     _add_serve_metrics(sub)
     _add_serve(sub)
     _add_soak(sub)
@@ -363,6 +409,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         auth=auth,
         keymgmt=keymgmt,
         replay_protection=args.replay_protection,
+        topology=args.topology,
+        fat_tree_k=args.fat_tree_k,
+        shards=args.shards,
+        shard_transport=args.shard_transport,
     )
     cfg.validate()
     report = run_simulation(cfg)
@@ -616,6 +666,25 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_bench_shard(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_shard import (
+        format_bench_shard,
+        run_bench_shard,
+        validate_bench_shard_doc,
+        write_bench_shard_json,
+    )
+
+    doc = run_bench_shard(smoke=args.smoke, sim_time_us=args.sim_time_us)
+    problems = validate_bench_shard_doc(doc)
+    if args.output != "-":
+        write_bench_shard_json(doc, args.output)
+        print(f"wrote {args.output}")
+    print(format_bench_shard(doc))
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _install_stop_signals(message: str, *signals_to_trap: int):
     """Route SIGTERM/SIGINT to KeyboardInterrupt so ``with server:`` blocks
     unwind through their normal stop path.  Returns an undo callable; a
@@ -797,6 +866,7 @@ _COMMANDS = {
     "table4": _cmd_table4,
     "bench": _cmd_bench,
     "bench-engine": _cmd_bench_engine,
+    "bench-shard": _cmd_bench_shard,
     "serve-metrics": _cmd_serve_metrics,
     "serve": _cmd_serve,
     "soak": _cmd_soak,

@@ -475,6 +475,67 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
     )
 
 
+def generate_shard_scenario(master_seed: int, index: int) -> Scenario:
+    """The ``index``-th random **shard-safe** scenario under ``master_seed``.
+
+    Shard-safe scenarios drive the sharded-vs-single-process differential
+    (DESIGN.md §3j), so they draw only from the envelope where the sharded
+    engine is bit-identical to the single-process oracle on counters and
+    delivery stats:
+
+    * fat-tree topology (the only sharded topology), ``pod`` partition
+      layout, two shards on ``k=4``;
+    * no faults, tampers, or forged injections (those install through the
+      single-process ``setup`` hook);
+    * ``keymgmt=none`` / ``auth=icrc`` (key exchange is SM-interactive);
+    * at most **one** flooder — multiple saturating attack flows meeting at
+      a core switch create same-picosecond arbitration ties whose order is
+      scheduling-dependent, which is exactly what the shard-safe guarantee
+      excludes.
+
+    Pure in ``(master_seed, index)`` like :func:`generate_scenario`.
+    """
+    rng = RngStreams(master_seed).get("fuzz.shard_scenario", index)
+
+    enforcement = rng.choice(("none", "dpt", "if", "sif", "bloom"))
+    num_attackers = rng.choice((0, 1, 1, 1))
+    sim_time_us = float(rng.choice((200, 250, 300)))
+
+    config = {
+        "topology": "fat_tree",
+        "fat_tree_k": 4,
+        "num_partitions": rng.randint(2, 4),
+        "partition_layout": "pod",
+        "enforcement": enforcement,
+        "auth": "icrc",
+        "keymgmt": "none",
+        "best_effort_load": rng.choice((0.30, 0.40, 0.50)),
+        "realtime_load": rng.choice((0.05, 0.10)),
+        "num_attackers": num_attackers,
+        "attack_valid_pkey": False,
+        "sif_idle_timeout_us": float(rng.choice((50, 100, 200))),
+        "sim_time_us": sim_time_us,
+        "warmup_us": 100.0,
+        "seed": rng.randrange(1, 2**31),
+        "keep_samples": True,
+        "shards": 2,
+        "shard_transport": "inline",
+    }
+    if enforcement == "bloom":
+        config["bloom_bits"] = int(rng.choice((1024, 4096)))
+        config["bloom_hashes"] = int(rng.choice((2, 3)))
+    traffic_model = rng.choice(("poisson", "poisson", "mmpp", "elephant_mice"))
+    config["traffic_model"] = traffic_model
+    if traffic_model == "mmpp":
+        config["mmpp_on_us"] = float(rng.choice((20, 40, 80)))
+        config["mmpp_off_us"] = float(rng.choice((20, 40, 80)))
+    elif traffic_model == "elephant_mice":
+        config["elephant_fraction"] = float(rng.choice((0.2, 0.25)))
+        config["elephant_boost"] = float(rng.choice((1.5, 2.0)))
+
+    return Scenario(name=f"shard-fuzz-{master_seed}-{index}", config=config)
+
+
 # -- mutation application ----------------------------------------------------
 
 

@@ -646,6 +646,106 @@ def check_observability_differential(on: FuzzRun, off: FuzzRun) -> list[Violatio
     return out
 
 
+# -- sharded-engine differential ----------------------------------------------
+
+
+def _delivery_key(report: SimReport) -> list[tuple] | None:
+    """Order-independent exact delivery record: every sample as an integer
+    tuple, canonically sorted.  Shards interleave same-picosecond deliveries
+    differently than one engine would, so raw sample *order* (and therefore
+    Welford float accumulation order) is outside the guarantee — the sorted
+    integer tuples are not."""
+    if report.metrics is None:
+        return None
+    return sorted(
+        (s.delivered, s.created, int(s.source), int(s.destination),
+         s.traffic_class)
+        for s in report.metrics.samples
+    )
+
+
+def execute_sharded(
+    scenario: Scenario, transport: str | None = None
+) -> tuple[SimReport, SimReport]:
+    """Run *scenario* single-process and sharded; return both reports.
+
+    The scenario's config carries its shard count (``shards=2`` from
+    :func:`~repro.fuzz.generators.generate_shard_scenario`); the
+    single-process leg is the identical config with ``shards=1``.
+    *transport* optionally overrides the scenario's ``shard_transport``.
+    """
+    from dataclasses import replace
+
+    if scenario.link_faults or scenario.switch_crashes or scenario.tampers \
+            or scenario.injections:
+        raise ValueError(
+            "sharded differential scenarios must not carry faults, tampers, "
+            "or injections — those install through the single-process setup "
+            "hook"
+        )
+    config = scenario.build_config()
+    if transport is not None:
+        config = replace(config, shard_transport=transport)
+    single = run_simulation(replace(config, shards=1))
+    sharded = run_simulation(config)
+    return single, sharded
+
+
+def check_shard_differential(
+    single: SimReport, sharded: SimReport
+) -> list[Violation]:
+    """The sharded run must match the single-process oracle exactly on
+    counter totals (``shard.*`` bookkeeping aside), the drop taxonomy,
+    the delivered count, per-class delivery counts, and the full sorted
+    delivery record."""
+    oracle = "shard_differential"
+    out: list[Violation] = []
+
+    sc = single.counters
+    hc = {
+        k: v for k, v in sharded.counters.items()
+        if not k.startswith("shard.")
+    }
+    diff_keys = sorted(
+        k for k in (sc.keys() | hc.keys()) if sc.get(k) != hc.get(k)
+    )
+    if diff_keys:
+        shown = ", ".join(
+            f"{k}: single={sc.get(k)} sharded={hc.get(k)}"
+            for k in diff_keys[:5]
+        )
+        out.append(Violation(
+            oracle, "sharded",
+            f"{len(diff_keys)} counters differ — {shown}",
+        ))
+    if single.drops != sharded.drops:
+        out.append(Violation(
+            oracle, "sharded",
+            f"drop taxonomies differ: single={single.drops}"
+            f" sharded={sharded.drops}",
+        ))
+    if single.delivered != sharded.delivered:
+        out.append(Violation(
+            oracle, "sharded",
+            f"delivered differ: single={single.delivered}"
+            f" sharded={sharded.delivered}",
+        ))
+    single_counts = {c: s.count for c, s in single.stats.items()}
+    sharded_counts = {c: s.count for c, s in sharded.stats.items()}
+    if single_counts != sharded_counts:
+        out.append(Violation(
+            oracle, "sharded",
+            f"per-class delivery counts differ: single={single_counts}"
+            f" sharded={sharded_counts}",
+        ))
+    if _delivery_key(single) != _delivery_key(sharded):
+        out.append(Violation(
+            oracle, "sharded",
+            "delivery records differ (sorted per-sample timing tuples)",
+        ))
+    return out
+
+
 # -- full scenario verdict ----------------------------------------------------
 
 

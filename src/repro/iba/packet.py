@@ -376,6 +376,20 @@ def current_packet_seq() -> int:
     return _PACKET_SEQ
 
 
+def reset_packet_seq(base: int) -> None:
+    """Rebase the packet-id sequence to *base* (next id is ``base + 1``).
+
+    Sharded workers running in **separate processes** each start their own
+    ``_PACKET_SEQ`` at 0, so packets minted on two shards would collide in
+    id-keyed structures (a switch's in-pipeline map) the moment one crosses
+    a boundary.  Each worker rebases to a disjoint range
+    (``(shard + 1) << 48``) before building its replica.  Inline sharding
+    never needs this — replicas share this module and ids stay unique.
+    """
+    global _PACKET_SEQ
+    _PACKET_SEQ = int(base)
+
+
 @dataclass(eq=False)
 class DataPacket:
     """A full IBA data packet moving through the simulated fabric.

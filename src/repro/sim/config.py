@@ -207,6 +207,18 @@ class SimConfig:
     seed: int = 1
     keep_samples: bool = True
 
+    # --- sharded parallel engine ---------------------------------------------
+    shards: int = 1
+    """Space-partition the fabric across this many shards (1 = the classic
+    single-process engine).  Requires ``topology == "fat_tree"`` with
+    ``shards`` dividing ``fat_tree_k`` (each shard owns whole pods), and a
+    nonzero minimum inter-shard latency (see
+    :func:`repro.sim.partition.lookahead_ps`)."""
+    shard_transport: str = "inline"
+    """``"inline"`` runs every shard's engine in this process (deterministic,
+    test- and 1-core-friendly); ``"process"`` forks one worker per shard and
+    exchanges boundary messages over pipes."""
+
     # --- derived quantities -----------------------------------------------------
 
     @property
@@ -263,8 +275,10 @@ class SimConfig:
             raise ValueError("vl_arbitration_high_limit must be None or >= 1")
         if self.mtu_bytes < 64 or self.mtu_bytes > 4096:
             raise ValueError("MTU out of IBA range")
-        if self.partition_layout not in ("random", "quadrant"):
-            raise ValueError("partition_layout must be 'random' or 'quadrant'")
+        if self.partition_layout not in ("random", "quadrant", "pod"):
+            raise ValueError(
+                "partition_layout must be 'random', 'quadrant', or 'pod'"
+            )
         if self.attack_dest_strategy not in ("spray", "victim"):
             raise ValueError("attack_dest_strategy must be 'spray' or 'victim'")
         if self.traffic_model not in (
@@ -295,6 +309,35 @@ class SimConfig:
         unknown = set(self.attacker_classes) - {"realtime", "best_effort"}
         if unknown:
             raise ValueError(f"unknown attacker classes: {unknown}")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_transport not in ("inline", "process"):
+            raise ValueError("shard_transport must be 'inline' or 'process'")
+        if self.shards > 1:
+            if self.topology != "fat_tree":
+                raise ValueError(
+                    "shards > 1 requires topology == 'fat_tree' "
+                    "(shards own whole fat-tree pod groups)"
+                )
+            if self.fat_tree_k % self.shards:
+                raise ValueError(
+                    f"shards={self.shards} must divide fat_tree_k="
+                    f"{self.fat_tree_k} (each shard owns whole pods)"
+                )
+            from repro.sim.partition import lookahead_ps
+
+            if lookahead_ps(self) <= 0:
+                raise ValueError(
+                    "shards > 1 needs a nonzero minimum inter-shard latency "
+                    "(wire_delay_ns, credit_return_delay_ns and "
+                    "sm_trap_latency_us must all be > 0) — zero-latency "
+                    "links break conservative lookahead"
+                )
+            if self.keymgmt is not KeyMgmtMode.NONE:
+                raise ValueError(
+                    "sharded runs support keymgmt == NONE only (key "
+                    "distribution is a construction-time global exchange)"
+                )
 
     def replace(self, **kwargs) -> "SimConfig":
         """Functional update (dataclasses.replace with validation)."""

@@ -39,11 +39,17 @@ class Counter:
     all work.
     """
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "kind")
 
-    def __init__(self, name: str, value: int | float = 0) -> None:
+    def __init__(
+        self, name: str, value: int | float = 0, kind: str = "counter"
+    ) -> None:
         self.name = name
         self.value = value
+        #: ``"counter"`` for plain statistics, ``"state"`` for counters the
+        #: simulation *reads* (see :meth:`CounterRegistry.state_counter`).
+        #: Cross-shard merges refuse to fold counters of different kinds.
+        self.kind = kind
 
     # -- mutation ----------------------------------------------------------
 
@@ -202,13 +208,12 @@ class CounterRegistry:
         it would change simulation behavior, not just observability.  When
         disabled the counter is excluded from the exported namespace
         (:meth:`snapshot` stays ``{}``); when enabled it is an ordinary
-        registry counter."""
-        if self._null is None:
-            return self.counter(name, initial)
-        c = self._state.get(name)
+        registry counter (of kind ``"state"``)."""
+        store = self._counters if self._null is None else self._state
+        c = store.get(name)
         if c is None:
-            c = Counter(name, initial)
-            self._state[name] = c
+            c = Counter(name, initial, kind="state")
+            store[name] = c
         return c
 
     def get(self, name: str) -> int | float:
@@ -241,3 +246,50 @@ class CounterRegistry:
             for name in sorted(self._counters)
             if pattern is None or fnmatchcase(name, pattern)
         }
+
+    def kinds(self) -> dict[str, str]:
+        """``{name: kind}`` for every registered counter — the sharded
+        engine ships this alongside :meth:`snapshot` so merges can enforce
+        kind agreement across process boundaries."""
+        return {name: c.kind for name, c in self._counters.items()}
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: dict[str, int | float],
+        kinds: dict[str, str] | None = None,
+    ) -> "CounterRegistry":
+        """Rebuild an enabled registry from a :meth:`snapshot` dict (and an
+        optional :meth:`kinds` map), preserving the dict's iteration order.
+        This is how per-shard counter state is rehydrated for a cross-shard
+        :meth:`merge`."""
+        registry = cls(enabled=True)
+        kinds = kinds or {}
+        for name, value in snapshot.items():
+            registry._counters[name] = Counter(
+                name, value, kind=kinds.get(name, "counter")
+            )
+        return registry
+
+    def merge(self, other: "CounterRegistry") -> None:
+        """Fold *other*'s counters into this registry, in place.
+
+        Same-name counters sum; names only *other* has are appended in
+        *other*'s order after this registry's existing names, so repeated
+        merges preserve a stable, deterministic counter ordering.  A
+        same-name pair whose kinds disagree (plain ``"counter"`` vs
+        ``"state"``) raises ``ValueError`` — summing hardware state into a
+        statistic (or vice versa) is always a wiring bug.  Merging an empty
+        or disabled registry is a no-op, so shards that processed nothing
+        cost nothing."""
+        for name, theirs in other._counters.items():
+            mine = self._counters.get(name)
+            if mine is None:
+                self._counters[name] = Counter(name, theirs.value, theirs.kind)
+            elif mine.kind != theirs.kind:
+                raise ValueError(
+                    f"cannot merge counter {name!r}: kind {mine.kind!r} "
+                    f"!= {theirs.kind!r}"
+                )
+            else:
+                mine.value += theirs.value

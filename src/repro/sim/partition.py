@@ -1,0 +1,122 @@
+"""Space partitioning of a fat-tree fabric for the sharded engine.
+
+A :class:`ShardPlan` splits the k-ary fat tree of :func:`~repro.iba.topology.
+build_fat_tree` into ``n_shards`` contiguous **pod groups**: shard *s* owns
+pods ``[s * k/n, (s+1) * k/n)`` — every edge and aggregation switch of those
+pods, every HCA attached to them, and the core switches assigned round-robin
+(core *c* belongs to shard ``c % n``).  Because HCA↔edge and edge↔agg links
+are strictly intra-pod, the only links that ever cross a shard boundary are
+agg↔core links — the property the conservative synchronization in
+:mod:`repro.sim.shard` relies on.
+
+The **lookahead** is the minimum latency any cross-shard interaction still
+has ahead of it at the moment it becomes visible to the synchronizer:
+
+* a packet crossing a boundary link is handed over when serialization
+  completes, with the wire flight time still to go (``wire_delay_ps``);
+* a flow-control credit travels back upstream after at least the
+  credit-return delay (``credit_return_delay_ps``);
+* a trap MAD pays the management-VL transit to the SM
+  (``sm_trap_latency_us``).
+
+Any of these at zero would let one shard affect another at its own current
+instant, collapsing the conservative window to nothing — which is why
+``SimConfig.validate`` rejects ``shards > 1`` with a zero minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import PS_PER_NS, PS_PER_US
+
+
+def lookahead_ps(config) -> int:
+    """Minimum inter-shard latency of *config* in picoseconds.
+
+    This is the conservative window the sharded engine may extend past the
+    earliest pending event of any shard: no cross-shard message can fire
+    earlier than its emitting event plus this bound.
+    """
+    return min(
+        round(config.wire_delay_ns * PS_PER_NS),
+        round(config.credit_return_delay_ns * PS_PER_NS),
+        round(config.sm_trap_latency_us * PS_PER_US),
+    )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Ownership map of one sharded fat-tree run.
+
+    ``n_shards`` must divide ``k`` so pod groups are equal; shard 0 is the
+    designated **SM shard** — the only replica whose SubnetManager processes
+    traps and issues filter registrations.
+    """
+
+    k: int
+    n_shards: int
+
+    #: shard index that runs the (single) active SubnetManager replica.
+    SM_SHARD = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.k % self.n_shards:
+            raise ValueError(
+                f"n_shards={self.n_shards} must divide fat_tree_k={self.k} "
+                "(shards own whole pod groups)"
+            )
+
+    @property
+    def pods_per_shard(self) -> int:
+        return self.k // self.n_shards
+
+    @property
+    def hosts_per_pod(self) -> int:
+        return (self.k // 2) ** 2
+
+    def shard_of_pod(self, pod: int) -> int:
+        return pod // self.pods_per_shard
+
+    def shard_of_core(self, core: int) -> int:
+        return core % self.n_shards
+
+    def pod_of_lid(self, lid: int) -> int:
+        return (int(lid) - 1) // self.hosts_per_pod
+
+    def shard_of_lid(self, lid: int) -> int:
+        return self.shard_of_pod(self.pod_of_lid(lid))
+
+    def owned_pods(self, shard: int) -> range:
+        p = self.pods_per_shard
+        return range(shard * p, (shard + 1) * p)
+
+    def owned_lids(self, shard: int) -> set[int]:
+        hp = self.hosts_per_pod
+        return {
+            1 + pod * hp + i
+            for pod in self.owned_pods(shard)
+            for i in range(hp)
+        }
+
+    def boundary_pairs(self) -> list[tuple[int, int, int, int]]:
+        """Every cross-shard ``(pod, agg, core_index, core_port)`` pair.
+
+        One entry describes *both* directions of the agg↔core cable between
+        aggregation switch ``(FT_AGG, pod * k/2 + agg)`` (its port
+        ``k/2 + j`` with ``core_index = agg * k/2 + j``) and core switch
+        ``(FT_CORE, core_index)`` (its port ``pod``) — returned only when
+        the pod's shard differs from the core's.
+        """
+        half = self.k // 2
+        out = []
+        for pod in range(self.k):
+            ps = self.shard_of_pod(pod)
+            for a in range(half):
+                for j in range(half):
+                    core = a * half + j
+                    if self.shard_of_core(core) != ps:
+                        out.append((pod, a, core, pod))
+        return out

@@ -163,12 +163,23 @@ def estimate_rtt_ps(fabric: Fabric, src: int, dst: int) -> int:
     return 2 * one_way
 
 
-def build_experiment(config: SimConfig, tracer: Tracer | None = None):
+def build_experiment(
+    config: SimConfig,
+    tracer: Tracer | None = None,
+    only_lids: set[int] | None = None,
+):
     """Construct (engine, fabric, sources, attackers) without running.
 
     Split from :func:`run_simulation` so tests can poke at intermediate
     state and examples can drive the fabric interactively.  *tracer*
     (optional) is wired into every component as the lifecycle event bus.
+
+    *only_lids* restricts which nodes get **active** traffic sources and
+    flooders; the fabric, partitions, QPs, and attack schedule are still
+    built identically (every RNG stream is named globally or per-LID, so
+    a restricted build agrees bit-for-bit with the full one on the nodes
+    it does drive).  The sharded engine builds one full-fabric replica per
+    shard and passes each replica its owned LIDs here.
     """
     config.validate()
     engine = Engine()
@@ -197,15 +208,24 @@ def build_experiment(config: SimConfig, tracer: Tracer | None = None):
     if config.partition_layout == "random":
         shuffled = lids[:]
         streams.get("partitions").shuffle(shuffled)
-    else:  # quadrant: contiguous blocks
+    else:  # quadrant / pod: deterministic orderings of the sorted LIDs
         shuffled = sorted(lids)
+    chunk_bounds = [
+        len(shuffled) * i // config.num_partitions
+        for i in range(config.num_partitions + 1)
+    ]
     partitions: dict[int, set[int]] = {}
     pkeys: dict[int, PKey] = {}
     for i in range(config.num_partitions):
         index = i + 1
-        # strided assignment so every node lands in exactly one partition
-        # even when the node count doesn't divide evenly
-        members = set(shuffled[i :: config.num_partitions])
+        if config.partition_layout == "pod":
+            # contiguous LID blocks — partitions align with fat-tree pods
+            # (and therefore with shards), keeping legitimate traffic local
+            members = set(shuffled[chunk_bounds[i] : chunk_bounds[i + 1]])
+        else:
+            # strided assignment so every node lands in exactly one partition
+            # even when the node count doesn't divide evenly
+            members = set(shuffled[i :: config.num_partitions])
         if not members:
             continue
         pkeys[index] = sm.create_partition(index, members)
@@ -287,6 +307,8 @@ def build_experiment(config: SimConfig, tracer: Tracer | None = None):
     for lid in lids:
         if lid in attackers:
             continue
+        if only_lids is not None and lid not in only_lids:
+            continue
         index = node_partition[lid]
         peer_lids = [m for m in sm.partitions[index] if m != lid and m not in attackers]
         if not peer_lids:
@@ -313,6 +335,8 @@ def build_experiment(config: SimConfig, tracer: Tracer | None = None):
     flooders = []
     valid_indices = sm.valid_pkey_indices()
     for lid in attackers:
+        if only_lids is not None and lid not in only_lids:
+            continue
         valid_pkey = pkeys[node_partition[lid]] if config.attack_valid_pkey else None
         # A valid-P_Key flood (Section 7) only breaches the attacker's own
         # partition — other nodes would reject the key anyway.
@@ -356,6 +380,17 @@ def run_simulation(
     HTTP for the duration of the run (0 = ephemeral port; see
     :mod:`repro.sim.metrics_server`).
     """
+    if config.shards > 1:
+        config.validate()
+        if tracer is not None or setup is not None or metrics_port is not None:
+            raise ValueError(
+                "sharded runs (config.shards > 1) do not support tracer, "
+                "setup hooks, or the live metrics server — run those "
+                "against the single-process engine"
+            )
+        from repro.sim.shard import run_sharded
+
+        return run_sharded(config)
     t0 = time.perf_counter()
     engine, fabric, sources, flooders, windows, key_manager = build_experiment(
         config, tracer=tracer

@@ -111,6 +111,49 @@ class TestValidation:
         assert cfg.seed != 99
 
 
+class TestShardValidation:
+    def _shard_cfg(self, **overrides):
+        base = dict(topology="fat_tree", fat_tree_k=4, shards=2)
+        base.update(overrides)
+        return SimConfig(**base)
+
+    def test_valid_sharded_config_passes(self):
+        self._shard_cfg().validate()
+        self._shard_cfg(shards=4, shard_transport="process").validate()
+
+    def test_shards_require_fat_tree(self):
+        with pytest.raises(ValueError, match="requires topology"):
+            self._shard_cfg(topology="mesh").validate()
+
+    def test_shards_must_divide_k(self):
+        with pytest.raises(ValueError, match="must divide"):
+            self._shard_cfg(shards=3).validate()
+
+    def test_zero_lookahead_rejected(self):
+        # any zero-latency crossing kind collapses the conservative
+        # window to nothing — each must be caught at validate() time
+        for knob in ("wire_delay_ns", "credit_return_delay_ns",
+                     "sm_trap_latency_us"):
+            with pytest.raises(ValueError, match="nonzero minimum"):
+                self._shard_cfg(**{knob: 0.0}).validate()
+
+    def test_keymgmt_incompatible_with_shards(self):
+        with pytest.raises(ValueError, match="keymgmt == NONE"):
+            self._shard_cfg(
+                auth=AuthMode.UMAC, keymgmt=KeyMgmtMode.PARTITION
+            ).validate()
+
+    def test_bad_transport_and_count(self):
+        with pytest.raises(ValueError, match="'inline' or 'process'"):
+            self._shard_cfg(shard_transport="thread").validate()
+        with pytest.raises(ValueError, match=">= 1"):
+            self._shard_cfg(shards=0).validate()
+
+    def test_single_shard_unconstrained(self):
+        # shards=1 is the classic engine: no fat-tree requirement
+        SimConfig(topology="mesh", shards=1).validate()
+
+
 class TestEnums:
     def test_enforcement_values(self):
         assert {m.value for m in EnforcementMode} == {

@@ -178,3 +178,99 @@ class TestDisabledRegistry:
             return dropped, sif.enabled
 
         assert drops_with(True) == drops_with(False)
+
+
+class TestMergeAndSnapshot:
+    """Cross-shard merge contract: order-stable, kind-checked, summing."""
+
+    def test_merge_empty_is_noop(self):
+        a = CounterRegistry()
+        a.counter("x").inc(5)
+        a.merge(CounterRegistry())
+        assert a.snapshot() == {"x": 5}
+
+    def test_merge_into_empty_preserves_order(self):
+        # registration order survives the merge (kinds() iterates it);
+        # the exported names()/snapshot() views stay name-sorted
+        a = CounterRegistry()
+        b = CounterRegistry()
+        for name in ("z.late", "a.early", "m.mid"):
+            b.counter(name).inc()
+        a.merge(b)
+        assert list(a.kinds()) == ["z.late", "a.early", "m.mid"]
+        assert a.names() == ["a.early", "m.mid", "z.late"]
+
+    def test_disjoint_names_append_after_existing(self):
+        a = CounterRegistry()
+        a.counter("mine").inc(1)
+        b = CounterRegistry()
+        b.counter("theirs").inc(2)
+        a.merge(b)
+        assert list(a.kinds()) == ["mine", "theirs"]
+        assert a.get("theirs") == 2
+
+    def test_same_name_sums(self):
+        a, b = CounterRegistry(), CounterRegistry()
+        a.counter("drops").inc(3)
+        b.counter("drops").inc(4)
+        b.counter("drops").inc(0.5)
+        a.merge(b)
+        assert a.get("drops") == 7.5
+
+    def test_kind_mismatch_raises(self):
+        a, b = CounterRegistry(), CounterRegistry()
+        a.counter("filter.sif.violation_counter")
+        b.state_counter("filter.sif.violation_counter")
+        with pytest.raises(ValueError, match="kind"):
+            a.merge(b)
+
+    def test_state_counters_merge_with_state(self):
+        a, b = CounterRegistry(), CounterRegistry()
+        a.state_counter("vc").inc(2)
+        b.state_counter("vc").inc(3)
+        a.merge(b)
+        assert a.get("vc") == 5
+        assert a.kinds() == {"vc": "state"}
+
+    def test_from_snapshot_round_trip(self):
+        src = CounterRegistry()
+        src.counter("pk.drops").inc(7)
+        src.state_counter("vc").inc(2)
+        rebuilt = CounterRegistry.from_snapshot(src.snapshot(), src.kinds())
+        assert rebuilt.snapshot() == src.snapshot()
+        assert rebuilt.kinds() == src.kinds()
+        assert rebuilt.names() == src.names()
+
+    def test_repeated_merge_matches_single_registry(self):
+        # snapshot -> from_snapshot -> merge equals incrementing in place
+        direct = CounterRegistry()
+        acc = CounterRegistry()
+        for val in (3, 4):
+            direct.counter("drops").inc(val)
+            part = CounterRegistry()
+            part.counter("drops").inc(val)
+            acc.merge(
+                CounterRegistry.from_snapshot(part.snapshot(), part.kinds())
+            )
+        assert acc.snapshot() == direct.snapshot()
+
+    def test_from_snapshot_defaults_to_plain_kind(self):
+        rebuilt = CounterRegistry.from_snapshot({"x": 1})
+        assert rebuilt.kinds() == {"x": "counter"}
+
+    def test_repeated_merge_is_deterministic(self):
+        # shard results folded in shard order twice produce identical
+        # registries — the invariant the report writer depends on
+        def build():
+            acc = CounterRegistry()
+            for shard, val in ((0, 1), (1, 10), (2, 100)):
+                part = CounterRegistry()
+                part.counter("shared").inc(val)
+                part.counter(f"only.{shard}").inc(shard)
+                acc.merge(part)
+            return acc
+
+        one, two = build(), build()
+        assert one.snapshot() == two.snapshot()
+        assert list(one.kinds()) == list(two.kinds())
+        assert one.get("shared") == 111

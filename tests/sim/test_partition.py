@@ -1,0 +1,81 @@
+"""ShardPlan ownership/boundary math and the lookahead bound."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.partition import ShardPlan, lookahead_ps
+
+
+class TestShardPlanValidation:
+    def test_shards_must_divide_k(self):
+        with pytest.raises(ValueError, match="must divide"):
+            ShardPlan(k=4, n_shards=3)
+
+    def test_at_least_one_shard(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ShardPlan(k=4, n_shards=0)
+
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan(k=4, n_shards=1)
+        assert plan.owned_lids(0) == set(range(1, 17))
+        assert plan.boundary_pairs() == []
+
+
+class TestOwnership:
+    def test_pod_groups_are_contiguous_and_disjoint(self):
+        plan = ShardPlan(k=8, n_shards=4)
+        seen = set()
+        for shard in range(4):
+            pods = list(plan.owned_pods(shard))
+            assert pods == [2 * shard, 2 * shard + 1]
+            lids = plan.owned_lids(shard)
+            assert len(lids) == 2 * plan.hosts_per_pod
+            assert not (lids & seen)
+            seen |= lids
+        assert seen == set(range(1, 8 * plan.hosts_per_pod + 1))
+
+    def test_lid_and_pod_maps_agree(self):
+        plan = ShardPlan(k=4, n_shards=2)
+        for shard in range(2):
+            for lid in plan.owned_lids(shard):
+                assert plan.shard_of_lid(lid) == shard
+                assert plan.pod_of_lid(lid) in plan.owned_pods(shard)
+
+    def test_cores_round_robin(self):
+        plan = ShardPlan(k=8, n_shards=4)
+        for core in range(16):
+            assert plan.shard_of_core(core) == core % 4
+
+
+class TestBoundaryPairs:
+    def test_only_cross_shard_pairs_listed(self):
+        plan = ShardPlan(k=4, n_shards=2)
+        pairs = plan.boundary_pairs()
+        assert pairs  # a 2-shard k=4 tree always has cross-shard cables
+        for pod, agg, core, core_port in pairs:
+            assert plan.shard_of_pod(pod) != plan.shard_of_core(core)
+            assert core_port == pod
+            assert 0 <= agg < 2 and 0 <= core < 4
+
+    def test_pair_count_matches_combinatorics(self):
+        # every pod has k/2 * k/2 agg->core cables; a fraction
+        # (n-1)/n of the cores live on a different shard than any pod
+        for k, n in ((4, 2), (8, 2), (8, 4), (16, 8)):
+            plan = ShardPlan(k=k, n_shards=n)
+            per_pod = (k // 2) ** 2
+            expected = k * per_pod * (n - 1) // n
+            assert len(plan.boundary_pairs()) == expected
+
+
+class TestLookahead:
+    def test_default_lookahead_is_wire_delay(self):
+        cfg = SimConfig(topology="fat_tree", fat_tree_k=4)
+        assert lookahead_ps(cfg) == round(cfg.wire_delay_ns * 1000)
+
+    def test_minimum_over_all_crossing_kinds(self):
+        cfg = SimConfig(
+            topology="fat_tree", fat_tree_k=4,
+            wire_delay_ns=50.0, credit_return_delay_ns=30.0,
+            sm_trap_latency_us=10.0,
+        )
+        assert lookahead_ps(cfg) == 30_000

@@ -52,6 +52,7 @@ DEFAULT_FILES = (
     "src/repro/core/attacks.py",
     "src/repro/sim/engine.py",
     "src/repro/sim/scheduler.py",
+    "src/repro/sim/shard.py",
 )
 
 #: Registry lookup methods that must only run at construction time.
